@@ -1,0 +1,65 @@
+"""Ablation A2 — cost of the Myrinet state-set enumeration.
+
+The Myrinet model enumerates maximal independent sets, which is exponential
+in the worst case.  This benchmark measures the enumeration time as the
+conflict graph grows (random dense schemes) and verifies that the connected-
+component decomposition gives the same penalties while analysing realistic
+sparse graphs much faster than the monolithic enumeration.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import MyrinetModel
+from repro.workloads import complete_graph_scheme, random_graph_scheme
+
+
+def enumeration_cost(sizes=(4, 5, 6, 7)):
+    rows = []
+    for n in sizes:
+        graph = complete_graph_scheme(n, seed=n)
+        model = MyrinetModel(max_component_size=64)
+        start = time.perf_counter()
+        analysis = model.analyse(graph)
+        elapsed = time.perf_counter() - start
+        rows.append((n, len(graph), analysis.num_state_sets, elapsed * 1e3))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation-state-sets")
+def test_ablation_enumeration_cost(benchmark, emit):
+    rows = benchmark(enumeration_cost)
+    table = render_table(
+        ["nodes", "communications", "state sets", "time [ms]"],
+        [list(r) for r in rows],
+        title="Ablation A2 - state-set enumeration cost on complete graphs K_n",
+        float_format="{:.2f}",
+    )
+    emit("ablation_state_sets", table)
+    # the number of state sets must grow with the graph density
+    counts = [r[2] for r in rows]
+    assert counts == sorted(counts)
+
+
+@pytest.mark.benchmark(group="ablation-state-sets")
+def test_ablation_component_decomposition(benchmark, emit):
+    """Decomposition is exact and required for multi-component graphs."""
+    graph = random_graph_scheme(num_nodes=18, num_communications=20, seed=11)
+
+    def both():
+        merged = MyrinetModel(decompose=False, max_component_size=64).penalties(graph)
+        decomposed = MyrinetModel(decompose=True, max_component_size=64).penalties(graph)
+        return merged, decomposed
+
+    merged, decomposed = benchmark(both)
+    mismatches = [n for n in merged if abs(merged[n] - decomposed[n]) > 1e-9]
+    emit(
+        "ablation_component_decomposition",
+        f"graph: {len(graph)} communications, "
+        f"components: {len(graph.conflict_components())}, mismatching penalties: {mismatches}",
+    )
+    assert not mismatches

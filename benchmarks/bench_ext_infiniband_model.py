@@ -1,0 +1,46 @@
+"""Extension E1 — the InfiniBand model (the paper's §VII future work).
+
+The paper measures InfiniHost III penalties (Figure 2) but leaves the model
+for future work.  This benchmark evaluates the extension model implemented in
+:mod:`repro.core.infiniband_model` on the full Figure 2 ladder against both
+the paper's published measurements and the emulated cluster.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import FIGURE2_PENALTIES, render_table
+from repro.benchmark import PenaltyTool
+from repro.core import InfinibandModel
+from repro.scheme import figure2_schemes
+
+
+def evaluate_infiniband_model():
+    model = InfinibandModel()
+    tool = PenaltyTool("infiniband", iterations=1, num_hosts=16)
+    rows = []
+    for scheme_id, graph in figure2_schemes().items():
+        predicted = model.penalties(graph)
+        emulated = tool.measure(graph).penalties
+        paper = FIGURE2_PENALTIES[scheme_id]["infiniband"]
+        for name in graph.names:
+            rows.append((scheme_id, name, predicted[name], emulated[name], paper[name]))
+    return rows
+
+
+@pytest.mark.benchmark(group="extension-infiniband")
+def test_extension_infiniband_model(benchmark, emit):
+    rows = benchmark(evaluate_infiniband_model)
+    table = render_table(
+        ["scheme", "com.", "model", "emulator", "paper"],
+        [list(r) for r in rows],
+        title="Extension E1 - InfiniBand model vs emulator vs paper (Figure 2 ladder)",
+        float_format="{:.2f}",
+    )
+    emit("ext_infiniband_model", table)
+
+    # the model must track the paper's published penalties within 15 % on
+    # every communication of the ladder
+    for scheme_id, name, predicted, emulated, paper in rows:
+        assert predicted == pytest.approx(paper, rel=0.15), (scheme_id, name)

@@ -1,0 +1,54 @@
+"""Figure 2 — penalties of the six-scheme ladder on the three interconnects.
+
+Regenerates the central table of §IV.C: for every scheme S1…S6 and every
+network (Gigabit Ethernet, Myrinet 2000, InfiniBand InfiniHost III), the
+penalty of every communication as measured on the emulated cluster, printed
+next to the values the paper measured on its physical clusters.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import FIGURE2_PENALTIES, penalty_ladder_table
+from repro.benchmark import PenaltyTool
+from repro.scheme import figure2_schemes
+
+NETWORKS = {
+    "gigabit-ethernet": "ethernet",
+    "myrinet": "myrinet",
+    "infiniband": "infiniband",
+}
+
+
+def measure_ladder():
+    """Measure every Figure 2 scheme on every emulated network."""
+    schemes = figure2_schemes()
+    tools = {label: PenaltyTool(alias, iterations=1, num_hosts=16)
+             for label, alias in NETWORKS.items()}
+    results = {}
+    for scheme_id, graph in schemes.items():
+        results[scheme_id] = {
+            label: tool.measure(graph).penalties for label, tool in tools.items()
+        }
+    return results
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_figure2_penalty_ladder(benchmark, emit):
+    results = benchmark(measure_ladder)
+    table = penalty_ladder_table(
+        results,
+        reference=FIGURE2_PENALTIES,
+        title="Figure 2 - measured penalties, emulator (paper value in parentheses)",
+    )
+    emit("fig2_penalty_ladder", table)
+
+    # shape assertions: the reproduction must preserve who is penalised and how much
+    assert results["S3"]["gigabit-ethernet"]["a"] == pytest.approx(2.25, rel=0.05)
+    assert results["S3"]["myrinet"]["a"] == pytest.approx(2.8, rel=0.05)
+    assert results["S3"]["infiniband"]["a"] == pytest.approx(2.61, rel=0.05)
+    assert results["S4"]["myrinet"]["d"] == pytest.approx(1.45, rel=0.1)
+    # the second reverse stream must hurt the senders on every network
+    for network in NETWORKS:
+        assert results["S5"][network]["a"] > results["S4"][network]["a"]

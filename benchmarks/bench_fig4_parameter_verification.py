@@ -1,0 +1,70 @@
+"""Figure 4 — verification of the Gigabit Ethernet parameters (β, γo, γi).
+
+Reproduces the two halves of §V.A:
+
+1. the calibration protocol itself — β from the outgoing ladder and γo/γi
+   from the verification scheme, run against the emulated GigE cluster;
+2. the Figure 4 table — measured vs predicted times for the six
+   communications of the verification scheme (4 MB messages), printed next
+   to the times the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import FIGURE4_TIMES, measured_vs_predicted_table
+from repro.benchmark import PenaltyTool
+from repro.core import GigabitEthernetModel, LinearCostModel, calibrate_from_measurer
+from repro.scheme import figure4_scheme
+from repro.units import MB
+
+
+def run_verification():
+    tool = PenaltyTool("ethernet", iterations=1, num_hosts=16)
+    parameters = calibrate_from_measurer(tool.measure_penalties)
+    graph = figure4_scheme(size=4 * MB)
+    measured = tool.measure(graph).times
+    cost = LinearCostModel(
+        latency=tool.technology.latency,
+        bandwidth=tool.technology.single_stream_bandwidth,
+        envelope=tool.technology.mpi_envelope,
+    )
+    predicted = GigabitEthernetModel(parameters).predict_times(graph, cost)
+    return parameters, measured, predicted
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_parameter_verification(benchmark, emit):
+    parameters, measured, predicted = benchmark(run_verification)
+
+    paper_measured = {k: v["measured"] for k, v in FIGURE4_TIMES.items()}
+    paper_predicted = {k: v["predicted"] for k, v in FIGURE4_TIMES.items()}
+    table = measured_vs_predicted_table(
+        measured, predicted,
+        title=(
+            "Figure 4 - verification scheme, 4 MB messages, emulated GigE cluster\n"
+            f"calibrated parameters: beta={parameters.beta:.3f} "
+            f"gamma_o={parameters.gamma_o:.3f} gamma_i={parameters.gamma_i:.3f} "
+            "(paper: 0.750 / 0.115 / 0.036)"
+        ),
+        paper_measured=paper_measured,
+        paper_predicted=paper_predicted,
+    )
+    emit("fig4_parameter_verification", table)
+
+    # β must match the paper's 0.75 and the γ estimates must stay small and ordered
+    assert parameters.beta == pytest.approx(0.75, abs=0.03)
+    assert 0.0 <= parameters.gamma_i <= parameters.gamma_o < 0.35
+    # the paper's qualitative ordering of predicted times: d fastest, c slowest
+    assert predicted["d"] == min(predicted.values())
+    assert predicted["c"] == max(predicted.values())
+    # every prediction within 40 % of the emulated measurement (communication c
+    # is the pessimistic outlier: the literal max(p_o, p_i) rule over-predicts
+    # it, exactly the deviation documented for Figure 4 in EXPERIMENTS.md),
+    # and the scheme-level mean absolute error stays moderate.
+    errors = []
+    for name in measured:
+        assert predicted[name] == pytest.approx(measured[name], rel=0.40)
+        errors.append(abs(predicted[name] - measured[name]) / measured[name] * 100.0)
+    assert sum(errors) / len(errors) < 20.0

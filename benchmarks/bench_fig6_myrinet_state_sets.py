@@ -1,0 +1,50 @@
+"""Figures 5 and 6 — the Myrinet state-set analysis of the example graph.
+
+Regenerates Figure 6 exactly: the number of state sets, the emission sums,
+the per-source minima and the penalties of the six communications of the
+Figure 5 example graph, and checks them against the published table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import FIGURE6_NUM_STATE_SETS, FIGURE6_TABLE, render_table
+from repro.core import MyrinetModel
+from repro.scheme import figure5_graph
+
+
+def analyse_figure5():
+    return MyrinetModel().analyse(figure5_graph())
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_state_set_table(benchmark, emit):
+    analysis = benchmark(analyse_figure5)
+
+    rows = []
+    for name in analysis.emission:
+        paper = FIGURE6_TABLE[name]
+        rows.append([
+            name,
+            analysis.emission[name], int(paper["sum"]),
+            analysis.adjusted_emission[name], int(paper["minimum"]),
+            analysis.penalties[name], paper["penalty"],
+        ])
+    table = render_table(
+        ["com.", "Sum", "paper", "Min", "paper", "penalty", "paper"],
+        rows,
+        title=(
+            "Figure 6 - Myrinet state-set analysis of the Figure 5 graph "
+            f"({analysis.num_state_sets} state sets, paper: {FIGURE6_NUM_STATE_SETS})"
+        ),
+        float_format="{:.2f}",
+    )
+    emit("fig6_myrinet_state_sets", table)
+
+    # exact reproduction of the published table
+    assert analysis.num_state_sets == FIGURE6_NUM_STATE_SETS
+    for name, paper in FIGURE6_TABLE.items():
+        assert analysis.emission[name] == paper["sum"]
+        assert analysis.adjusted_emission[name] == paper["minimum"]
+        assert analysis.penalties[name] == pytest.approx(paper["penalty"])

@@ -1,0 +1,61 @@
+"""Figure 7 — accuracy of the Myrinet model on the synthetic graphs MK1 and MK2.
+
+For the tree graph MK1 and the complete graph MK2 (4 MB messages), the
+benchmark measures every communication on the emulated Myrinet cluster,
+predicts it with the Myrinet model, and prints the Tm / Tp / E_rel table with
+the per-graph average absolute error E_abs — the exact layout of Figure 7.
+The Gigabit Ethernet model is swept on the same graphs (the paper discusses
+both in §VI.C).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import FIGURE7_EABS, compare_times, measured_vs_predicted_table
+from repro.benchmark import PenaltyTool
+from repro.core import GigabitEthernetModel, LinearCostModel, MyrinetModel
+from repro.scheme import mk1_tree, mk2_complete
+
+
+def evaluate(network: str, model, graph):
+    tool = PenaltyTool(network, iterations=1, num_hosts=16)
+    measured = tool.measure(graph).times
+    cost = LinearCostModel(
+        latency=tool.technology.latency,
+        bandwidth=tool.technology.single_stream_bandwidth,
+        envelope=tool.technology.mpi_envelope,
+    )
+    predicted = model.predict_times(graph, cost)
+    return compare_times(measured, predicted, graph_name=graph.name)
+
+
+def run_figure7():
+    reports = {}
+    for label, graph in (("MK1", mk1_tree()), ("MK2", mk2_complete())):
+        reports[("myrinet", label)] = evaluate("myrinet", MyrinetModel(), graph)
+        reports[("ethernet", label)] = evaluate("ethernet", GigabitEthernetModel(), graph)
+    return reports
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_synthetic_graphs(benchmark, emit):
+    reports = benchmark(run_figure7)
+
+    blocks = []
+    for (network, label), report in reports.items():
+        paper_eabs = FIGURE7_EABS.get(label)
+        suffix = f" (paper Eabs on the real cluster: {paper_eabs} %)" if network == "myrinet" else ""
+        blocks.append(measured_vs_predicted_table(
+            report.measured, report.predicted, report.relative,
+            title=f"Figure 7 - {label} on {network}{suffix}",
+        ))
+    emit("fig7_synthetic_graphs", "\n\n".join(blocks))
+
+    myrinet_mk1 = reports[("myrinet", "MK1")]
+    myrinet_mk2 = reports[("myrinet", "MK2")]
+    # shape: the tree is predicted at least as well as the complete graph,
+    # and both stay within a usable error budget against the emulator
+    assert myrinet_mk1.absolute <= myrinet_mk2.absolute
+    assert myrinet_mk1.absolute < 30.0
+    assert myrinet_mk2.absolute < 45.0

@@ -1,0 +1,42 @@
+"""Figure 9 — evaluation of the Myrinet model on HPL (Linpack).
+
+Same protocol as Figure 8, on the emulated Myrinet 2000 cluster with the
+state-set model.  The paper's conclusion — the Myrinet model is globally
+accurate, at least as good as the Gigabit Ethernet one — is asserted by
+comparing the two mean errors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import compare_reports, per_task_error_table
+from repro.cluster import custom_cluster
+from repro.core import GigabitEthernetModel, MyrinetModel
+from repro.simulator import Simulator
+
+from bench_fig8_hpl_gigabit import NUM_NODES, PLACEMENTS, build_application, run_hpl
+
+
+@pytest.mark.benchmark(group="figure9", min_rounds=1, max_time=1.0, warmup=False)
+def test_figure9_hpl_myrinet(benchmark, emit):
+    results = benchmark.pedantic(run_hpl, args=("myrinet", MyrinetModel()),
+                                 rounds=1, iterations=1)
+
+    blocks = []
+    for placement, report in results.items():
+        blocks.append(per_task_error_table(
+            report.measured, report.predicted,
+            title=f"Figure 9 - HPL N=20500 on Myrinet 2000, placement {placement}",
+        ))
+    emit("fig9_hpl_myrinet", "\n\n".join(blocks))
+
+    for placement, report in results.items():
+        assert report.mean_error < 30.0, placement
+
+    # cross-figure claim of §VI.D: the Myrinet model is globally accurate and
+    # not worse than the Gigabit Ethernet model on the same workload
+    ethernet_results = run_hpl("ethernet", GigabitEthernetModel())
+    myrinet_mean = sum(r.mean_error for r in results.values()) / len(results)
+    ethernet_mean = sum(r.mean_error for r in ethernet_results.values()) / len(ethernet_results)
+    assert myrinet_mean <= ethernet_mean + 5.0

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Because the
+absolute numbers come from the calibrated emulator rather than the original
+clusters, each benchmark prints a paper-style text table (and writes it under
+``benchmarks/results/``) so the shape can be compared against the published
+values side by side; the ``benchmark`` fixture times the computational core
+of the experiment.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Print a report block and persist it to benchmarks/results/<name>.txt."""
+
+    def _emit(name: str, text: str) -> None:
+        banner = "=" * 78
+        print(f"\n{banner}\n{name}\n{banner}\n{text}\n")
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+    return _emit

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Flow-control mechanisms from first principles (§III of the paper).
+
+The contention models are motivated by the behaviour of the flow-control
+mechanisms: Stop & Go on Myrinet serialises conflicting transfers, while
+credit-based InfiniBand shares the HCA more gracefully.  This example runs
+the packet-level discrete-event models of both mechanisms on the elementary
+conflicts of §IV.A and shows that the qualitative penalties the paper's
+models encode emerge from the mechanisms themselves — independently of the
+calibrated emulator.
+
+Run with::
+
+    python examples/flow_control_mechanisms.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import render_table
+from repro.network import (
+    CreditBasedNetwork,
+    INFINIBAND_INFINIHOST3,
+    MYRINET_2000,
+    StopAndGoNetwork,
+    Transfer,
+)
+from repro.units import MB
+
+
+def conflict_transfers(kind: str, degree: int):
+    """Build the elementary conflicts of §IV.A as transfer lists."""
+    if kind == "outgoing":
+        return [Transfer(f"c{i}", 0, i + 1, 4 * MB) for i in range(degree)]
+    if kind == "incoming":
+        return [Transfer(f"c{i}", i + 1, 0, 4 * MB) for i in range(degree)]
+    if kind == "income-outgo":
+        transfers = [Transfer(f"out{i}", 0, i + 1, 4 * MB) for i in range(degree - 1)]
+        transfers.append(Transfer("in", degree + 1, 0, 4 * MB))
+        return transfers
+    raise ValueError(kind)
+
+
+def main() -> None:
+    networks = {
+        "Myrinet Stop&Go": StopAndGoNetwork(MYRINET_2000),
+        "InfiniBand credits": CreditBasedNetwork(INFINIBAND_INFINIHOST3),
+    }
+
+    rows = []
+    for kind in ("outgoing", "incoming", "income-outgo"):
+        for degree in (2, 3, 4):
+            transfers = conflict_transfers(kind, degree)
+            row = [kind, degree]
+            for net in networks.values():
+                penalties = net.penalties(transfers)
+                mean = sum(penalties.values()) / len(penalties)
+                worst = max(penalties.values())
+                row.append(f"{mean:.2f} / {worst:.2f}")
+            rows.append(row)
+
+    print(render_table(
+        ["conflict", "degree"] + [f"{name} (mean/max)" for name in networks],
+        rows,
+        title="Penalties produced by the packet-level flow-control models",
+    ))
+    print(
+        "\nReading: an outgoing conflict of degree k costs ~k on both mechanisms\n"
+        "(the NIC is the bottleneck), which is what both contention models encode;\n"
+        "the income/outgo coupling is what differentiates the technologies."
+    )
+
+
+if __name__ == "__main__":
+    main()

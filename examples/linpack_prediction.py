@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's Linpack evaluation workflow (Figures 8 and 9).
+
+The pipeline is the one of §VI.D:
+
+1. generate the HPL communication trace (increasing-ring panel broadcast,
+   shrinking panel sizes) — the stand-in for the paper's MPE trace;
+2. "measure" it by running the trace on the emulated cluster;
+3. predict it with the contention model of the interconnect;
+4. compare the per-task sums of communication times (S_m vs S_p) and print
+   the per-task absolute errors, for the three placements RRN / RRP / Random.
+
+Run with::
+
+    python examples/linpack_prediction.py [problem_size]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import Simulator, custom_cluster
+from repro.analysis import compare_reports, per_task_error_table
+from repro.workloads import apply_tracing_overhead, generate_linpack
+
+
+def main() -> None:
+    problem_size = int(sys.argv[1]) if len(sys.argv) > 1 else 6000
+    num_tasks = 16
+    cluster = custom_cluster(num_nodes=8, cores_per_node=2, technology="myrinet")
+
+    print(f"Generating the HPL trace (N={problem_size}, NB=120, {num_tasks} tasks)...")
+    application = apply_tracing_overhead(
+        generate_linpack(problem_size=problem_size, block_size=120, num_tasks=num_tasks)
+    )
+    print(f"  {application.total_messages} messages, "
+          f"{application.total_bytes / 1e9:.2f} GB moved\n")
+
+    emulated = Simulator.emulated(cluster)          # the "real cluster" stand-in
+    predicted = Simulator.predictive(cluster)       # the Myrinet state-set model
+
+    for placement in ("RRN", "RRP", "random"):
+        measured_report = emulated.run(application, placement=placement, seed=11)
+        predicted_report = predicted.run(application, placement=placement, seed=11)
+        errors = compare_reports(measured_report, predicted_report)
+        print(per_task_error_table(
+            errors.measured, errors.predicted,
+            title=(f"HPL N={problem_size} on emulated Myrinet 2000 - placement {placement} "
+                   f"(total time: measured {measured_report.total_time:.2f} s, "
+                   f"predicted {predicted_report.total_time:.2f} s)"),
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""HPC-integrator scenario: which interconnect for a given application?
+
+The paper's introduction motivates the models as "important elements to help
+an HPC integrator to propose a network solution for a set of applications".
+This example plays that role: it takes two applications with very different
+communication profiles — an HPL-like factorisation (large, mostly pipelined
+messages) and a gather-heavy analytics step (many-to-one hot spot) — and uses
+the predictive simulator to estimate their run time on the paper's three
+cluster types, without running anything on real hardware.
+
+Run with::
+
+    python examples/network_selection.py
+"""
+
+from __future__ import annotations
+
+from repro import Simulator, custom_cluster
+from repro.analysis import render_table
+from repro.simulator import Application
+from repro.units import MB
+from repro.workloads import flat_gather, generate_linpack, ring_allgather
+
+
+def analytics_application(num_tasks: int = 16) -> Application:
+    """A gather-heavy step: partial results funnel into rank 0, then spread back."""
+    app = Application(num_tasks=num_tasks, name="analytics-gather")
+    for rank in range(num_tasks):
+        app.add_compute(rank, duration=0.05, label="local-reduce")
+    flat_gather(app, root=0, size=8 * MB)
+    app.add_barrier()
+    ring_allgather(app, size=2 * MB)
+    return app
+
+
+def main() -> None:
+    applications = {
+        "HPL (N=8000, 16 tasks)": generate_linpack(problem_size=8000, block_size=200,
+                                                   num_tasks=16),
+        "analytics gather (16 tasks)": analytics_application(16),
+    }
+    networks = ("ethernet", "myrinet", "infiniband")
+
+    rows = []
+    for app_label, app in applications.items():
+        row = [app_label]
+        for network in networks:
+            cluster = custom_cluster(num_nodes=8, cores_per_node=2, technology=network)
+            simulator = Simulator.predictive(cluster)   # model matching the interconnect
+            report = simulator.run(app, placement="RRP")
+            row.append(report.total_time)
+        rows.append(row)
+
+    print(render_table(
+        ["application", "GigE [s]", "Myrinet [s]", "InfiniBand [s]"],
+        rows,
+        title="Predicted application run time per interconnect (8 nodes x 2 cores)",
+        float_format="{:.2f}",
+    ))
+
+    print()
+    print("Contention profile of the gather step on each network:")
+    gather = applications["analytics gather (16 tasks)"]
+    for network in networks:
+        cluster = custom_cluster(num_nodes=8, cores_per_node=2, technology=network)
+        report = Simulator.predictive(cluster).run(gather, placement="RRP")
+        print(f"  {network:<12s} average penalty {report.average_penalty:5.2f}   "
+              f"max penalty {report.max_penalty:5.2f}")
+
+
+if __name__ == "__main__":
+    main()

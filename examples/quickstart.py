@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: predict bandwidth-sharing penalties for a communication scheme.
+
+This walks through the core workflow of the paper:
+
+1. describe a set of concurrent MPI communications as a node-level graph,
+2. classify the elementary conflicts (§IV.A),
+3. predict the penalty of every communication with the Gigabit Ethernet,
+   Myrinet and InfiniBand models (§V),
+4. compare against the calibrated cluster emulator (the reproduction's
+   stand-in for the real clusters), and
+5. convert penalties into predicted transfer times.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    ClusterEmulator,
+    CommunicationGraph,
+    GigabitEthernetModel,
+    InfinibandModel,
+    LinearCostModel,
+    MyrinetModel,
+    classify_graph,
+    get_technology,
+)
+from repro.analysis import render_table
+from repro.units import MB
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ 1. scheme
+    # Node 0 sends 20 MB to nodes 1, 2 and 3 while node 4 sends 20 MB to node 0
+    # (scheme S4 of Figure 2: an outgoing conflict plus an income/outgo conflict).
+    graph = CommunicationGraph(name="quickstart")
+    graph.add_edge(0, 1, size=20 * MB, name="a")
+    graph.add_edge(0, 2, size=20 * MB, name="b")
+    graph.add_edge(0, 3, size=20 * MB, name="c")
+    graph.add_edge(4, 0, size=20 * MB, name="d")
+    print(graph.describe(), "\n")
+
+    # ------------------------------------------------------------- 2. conflicts
+    print(classify_graph(graph).summary(), "\n")
+
+    # --------------------------------------------------------------- 3. models
+    models = {
+        "Gigabit Ethernet": GigabitEthernetModel(),
+        "Myrinet 2000": MyrinetModel(),
+        "InfiniBand": InfinibandModel(),
+    }
+    rows = []
+    for comm in graph:
+        rows.append([comm.name] + [models[m].penalties(graph)[comm.name] for m in models])
+    print(render_table(["com."] + list(models), rows,
+                       title="Predicted penalties (P = T_contended / T_alone)",
+                       float_format="{:.2f}"), "\n")
+
+    # -------------------------------------------------------------- 4. emulator
+    rows = []
+    for label, alias in (("Gigabit Ethernet", "ethernet"), ("Myrinet 2000", "myrinet"),
+                         ("InfiniBand", "infiniband")):
+        emulator = ClusterEmulator(alias, num_hosts=8)
+        measured = emulator.measure_penalties(graph)
+        rows.append([label] + [measured[name] for name in graph.names])
+    print(render_table(["emulated cluster"] + list(graph.names), rows,
+                       title="Measured penalties on the calibrated emulator",
+                       float_format="{:.2f}"), "\n")
+
+    # ------------------------------------------------------ 5. predicted times
+    technology = get_technology("ethernet")
+    cost = LinearCostModel(latency=technology.latency,
+                           bandwidth=technology.single_stream_bandwidth,
+                           envelope=technology.mpi_envelope)
+    times = GigabitEthernetModel().predict_times(graph, cost)
+    print("Predicted transfer times on Gigabit Ethernet:")
+    for name, value in times.items():
+        print(f"  {name}: {value * 1e3:7.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` keeps working on environments whose ``pip``/``wheel``
+combination cannot build PEP 660 editable wheels (the offline evaluation
+container ships setuptools without ``wheel``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,145 @@
+"""repro — reproduction of *Predictive models for bandwidth sharing in high
+performance clusters* (Vienne, Martinasso, Vincent, Méhaut — IEEE Cluster 2008).
+
+The package provides:
+
+* the paper's contention models (Gigabit Ethernet, Myrinet, plus the
+  InfiniBand extension and related-work baselines) in :mod:`repro.core`;
+* a calibrated cluster emulator standing in for the paper's three physical
+  clusters in :mod:`repro.network`;
+* cluster descriptions and task placement in :mod:`repro.cluster`;
+* a simulated MPI layer in :mod:`repro.mpi`;
+* the predictive simulator (applications as event traces) in
+  :mod:`repro.simulator`;
+* the communication-scheme language and the paper's schemes in
+  :mod:`repro.scheme`;
+* workload generators (HPL/Linpack, synthetic graphs, collectives) in
+  :mod:`repro.workloads`;
+* the penalty measurement tool in :mod:`repro.benchmark`;
+* the evaluation metrics and the paper's published values in
+  :mod:`repro.analysis`.
+
+Quick start
+-----------
+
+.. code-block:: python
+
+    from repro import CommunicationGraph, GigabitEthernetModel, MyrinetModel
+
+    graph = CommunicationGraph.from_edges([(0, 1), (0, 2), (0, 3)])
+    GigabitEthernetModel().penalties(graph)   # {'a': 2.25, 'b': 2.25, 'c': 2.25}
+    MyrinetModel().penalties(graph)           # {'a': 3.0, 'b': 3.0, 'c': 3.0}
+"""
+
+from .core import (
+    Communication,
+    CommunicationGraph,
+    ConflictKind,
+    ConflictRule,
+    ContentionModel,
+    EthernetParameters,
+    FairShareModel,
+    GigabitEthernetModel,
+    InfinibandModel,
+    InfinibandParameters,
+    KimLeeModel,
+    LinearCostModel,
+    LogGPCostModel,
+    LogPCostModel,
+    MyrinetModel,
+    NoContentionModel,
+    PenaltyPrediction,
+    classify_graph,
+    get_model,
+    model_for_network,
+)
+from .cluster import (
+    BULL_NOVASCALE_IB,
+    IBM_E325_MYRINET,
+    IBM_E326_GIGE,
+    ClusterSpec,
+    Placement,
+    custom_cluster,
+    get_cluster,
+    make_placement,
+)
+from .network import (
+    GIGABIT_ETHERNET,
+    INFINIBAND_INFINIHOST3,
+    MYRINET_2000,
+    ClusterEmulator,
+    NetworkTechnology,
+    get_technology,
+)
+from .benchmark import ExperimentRunner, PenaltyTool
+from .mpi import MpiRuntime, Rank
+from .scheme import (
+    figure2_schemes,
+    figure4_scheme,
+    figure5_graph,
+    mk1_tree,
+    mk2_complete,
+    parse_scheme,
+)
+from .simulator import Application, Simulator
+from .workloads import LinpackParameters, generate_linpack
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "Communication",
+    "CommunicationGraph",
+    "ConflictKind",
+    "ConflictRule",
+    "ContentionModel",
+    "LinearCostModel",
+    "PenaltyPrediction",
+    "EthernetParameters",
+    "GigabitEthernetModel",
+    "MyrinetModel",
+    "InfinibandModel",
+    "InfinibandParameters",
+    "NoContentionModel",
+    "FairShareModel",
+    "KimLeeModel",
+    "LogPCostModel",
+    "LogGPCostModel",
+    "classify_graph",
+    "get_model",
+    "model_for_network",
+    # cluster
+    "ClusterSpec",
+    "Placement",
+    "custom_cluster",
+    "get_cluster",
+    "make_placement",
+    "IBM_E326_GIGE",
+    "IBM_E325_MYRINET",
+    "BULL_NOVASCALE_IB",
+    # network
+    "ClusterEmulator",
+    "NetworkTechnology",
+    "get_technology",
+    "GIGABIT_ETHERNET",
+    "MYRINET_2000",
+    "INFINIBAND_INFINIHOST3",
+    # tools
+    "PenaltyTool",
+    "ExperimentRunner",
+    "MpiRuntime",
+    "Rank",
+    # schemes & workloads
+    "parse_scheme",
+    "figure2_schemes",
+    "figure4_scheme",
+    "figure5_graph",
+    "mk1_tree",
+    "mk2_complete",
+    "LinpackParameters",
+    "generate_linpack",
+    # simulator
+    "Application",
+    "Simulator",
+]

@@ -1,0 +1,49 @@
+"""Evaluation metrics, the paper's published reference values and table rendering."""
+
+from .errors import (
+    GraphErrorReport,
+    TaskErrorReport,
+    absolute_error,
+    compare_reports,
+    compare_times,
+    relative_error,
+    relative_errors,
+)
+from .reference import (
+    ETHERNET_PAPER_PARAMETERS,
+    FIGURE2_PENALTIES,
+    FIGURE4_TIMES,
+    FIGURE6_NUM_STATE_SETS,
+    FIGURE6_TABLE,
+    FIGURE7_EABS,
+    FIGURE7_MYRINET,
+    paper_penalties,
+)
+from .tables import (
+    measured_vs_predicted_table,
+    penalty_ladder_table,
+    per_task_error_table,
+    render_table,
+)
+
+__all__ = [
+    "relative_error",
+    "relative_errors",
+    "absolute_error",
+    "GraphErrorReport",
+    "TaskErrorReport",
+    "compare_times",
+    "compare_reports",
+    "FIGURE2_PENALTIES",
+    "FIGURE4_TIMES",
+    "FIGURE6_TABLE",
+    "FIGURE6_NUM_STATE_SETS",
+    "FIGURE7_MYRINET",
+    "FIGURE7_EABS",
+    "ETHERNET_PAPER_PARAMETERS",
+    "paper_penalties",
+    "render_table",
+    "penalty_ladder_table",
+    "measured_vs_predicted_table",
+    "per_task_error_table",
+]

@@ -1,0 +1,151 @@
+"""Published reference values from the paper.
+
+Every number the paper's figures report is embedded here so that the
+benchmark harness can print side-by-side comparisons (paper-measured vs
+emulator-measured vs model-predicted) and so that tests can check that the
+reproduced *shape* (who is penalised, by roughly what factor) matches the
+publication.
+
+Sources:
+
+* :data:`FIGURE2_PENALTIES` — Figure 2, measured penalties of the six schemes
+  on the three clusters (20 MB messages);
+* :data:`FIGURE4_TIMES` — Figure 4, measured and predicted times of the
+  parameter-verification scheme (4 MB messages);
+* :data:`FIGURE6_TABLE` — Figure 6, state-set sums / minima / penalties of
+  the Figure 5 example graph;
+* :data:`FIGURE7_MYRINET` — Figure 7, measured/predicted times and errors of
+  the MK1 and MK2 synthetic graphs with the Myrinet model;
+* :data:`ETHERNET_PAPER_PARAMETERS` — the (β, γo, γi) triple of §V.A.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = [
+    "FIGURE2_PENALTIES",
+    "FIGURE4_TIMES",
+    "FIGURE6_TABLE",
+    "FIGURE7_MYRINET",
+    "ETHERNET_PAPER_PARAMETERS",
+    "paper_penalties",
+]
+
+#: Figure 2 — measured penalties per scheme, network and communication.
+FIGURE2_PENALTIES: Dict[str, Dict[str, Dict[str, float]]] = {
+    "S1": {
+        "gigabit-ethernet": {"a": 1.0},
+        "myrinet": {"a": 1.0},
+        "infiniband": {"a": 1.0},
+    },
+    "S2": {
+        "gigabit-ethernet": {"a": 1.5, "b": 1.5},
+        "myrinet": {"a": 1.9, "b": 1.9},
+        "infiniband": {"a": 1.725, "b": 1.725},
+    },
+    "S3": {
+        "gigabit-ethernet": {"a": 2.25, "b": 2.25, "c": 2.25},
+        "myrinet": {"a": 2.8, "b": 2.8, "c": 2.8},
+        "infiniband": {"a": 2.61, "b": 2.61, "c": 2.61},
+    },
+    "S4": {
+        "gigabit-ethernet": {"a": 2.15, "b": 2.15, "c": 2.15, "d": 1.15},
+        "myrinet": {"a": 2.8, "b": 2.8, "c": 2.8, "d": 1.45},
+        "infiniband": {"a": 2.61, "b": 2.61, "c": 2.61, "d": 1.14},
+    },
+    "S5": {
+        "gigabit-ethernet": {"a": 4.4, "b": 2.6, "c": 2.6, "d": 2.6, "e": 2.6},
+        "myrinet": {"a": 4.4, "b": 4.2, "c": 4.2, "d": 2.5, "e": 2.5},
+        "infiniband": {"a": 3.663, "b": 3.66, "c": 3.66, "d": 2.035, "e": 2.035},
+    },
+    "S6": {
+        "gigabit-ethernet": {"a": 4.4, "b": 2.0, "c": 3.3, "d": 2.6, "e": 2.6, "f": 1.4},
+        "myrinet": {"a": 4.5, "b": 4.5, "c": 4.5, "d": 2.5, "e": 2.5, "f": 1.3},
+        "infiniband": {"a": 3.935, "b": 3.935, "c": 3.935, "d": 1.995, "e": 1.995, "f": 1.01},
+    },
+}
+
+#: Figure 4 — measured and predicted times (seconds) of the verification
+#: scheme, 4 MB messages, Gigabit Ethernet.
+FIGURE4_TIMES: Dict[str, Dict[str, float]] = {
+    "a": {"measured": 0.095, "predicted": 0.095},
+    "b": {"measured": 0.099, "predicted": 0.095},
+    "c": {"measured": 0.118, "predicted": 0.113},
+    "d": {"measured": 0.068, "predicted": 0.069},
+    "e": {"measured": 0.099, "predicted": 0.103},
+    "f": {"measured": 0.103, "predicted": 0.103},
+}
+
+#: Figure 6 — the state-set analysis of the Figure 5 example graph.
+FIGURE6_TABLE: Dict[str, Dict[str, float]] = {
+    "a": {"sum": 1, "minimum": 1, "penalty": 5.0},
+    "b": {"sum": 2, "minimum": 1, "penalty": 5.0},
+    "c": {"sum": 2, "minimum": 1, "penalty": 5.0},
+    "d": {"sum": 2, "minimum": 2, "penalty": 2.5},
+    "e": {"sum": 2, "minimum": 2, "penalty": 2.5},
+    "f": {"sum": 3, "minimum": 2, "penalty": 2.5},
+}
+
+#: number of state sets of the Figure 5 graph
+FIGURE6_NUM_STATE_SETS = 5
+
+#: Figure 7 — Myrinet model accuracy on the synthetic graphs (seconds and %).
+FIGURE7_MYRINET: Dict[str, Dict[str, Dict[str, float]]] = {
+    "MK1": {
+        "a": {"measured": 0.087, "predicted": 0.089, "relative_error": 2.3},
+        "b": {"measured": 0.087, "predicted": 0.089, "relative_error": 2.3},
+        "c": {"measured": 0.070, "predicted": 0.071, "relative_error": 1.4},
+        "d": {"measured": 0.052, "predicted": 0.053, "relative_error": 1.9},
+        "e": {"measured": 0.037, "predicted": 0.035, "relative_error": -5.4},
+        "f": {"measured": 0.051, "predicted": 0.053, "relative_error": 3.9},
+        "g": {"measured": 0.070, "predicted": 0.071, "relative_error": 1.4},
+    },
+    "MK2": {
+        "a": {"measured": 0.164, "predicted": 0.177, "relative_error": 7.9},
+        "b": {"measured": 0.164, "predicted": 0.177, "relative_error": 7.9},
+        "c": {"measured": 0.164, "predicted": 0.177, "relative_error": 7.9},
+        "d": {"measured": 0.164, "predicted": 0.177, "relative_error": 7.9},
+        "e": {"measured": 0.043, "predicted": 0.053, "relative_error": 23.2},
+        "f": {"measured": 0.086, "predicted": 0.085, "relative_error": -1.2},
+        "g": {"measured": 0.087, "predicted": 0.085, "relative_error": -2.3},
+        "h": {"measured": 0.108, "predicted": 0.101, "relative_error": -6.5},
+        "i": {"measured": 0.108, "predicted": 0.101, "relative_error": -6.5},
+        "j": {"measured": 0.059, "predicted": 0.073, "relative_error": 23.7},
+    },
+}
+
+#: Figure 7 — average absolute errors reported by the paper.
+FIGURE7_EABS = {"MK1": 2.6, "MK2": 9.5}
+
+#: §V.A — the Ethernet model parameters estimated by the paper.
+ETHERNET_PAPER_PARAMETERS = {"beta": 0.75, "gamma_o": 0.115, "gamma_i": 0.036}
+
+#: §VI.D — tracing overhead of the MPE instrumentation.
+MPE_OVERHEAD_PERCENT = 0.7
+
+_NETWORK_KEYS = {
+    "ethernet": "gigabit-ethernet",
+    "gigabit-ethernet": "gigabit-ethernet",
+    "gige": "gigabit-ethernet",
+    "myrinet": "myrinet",
+    "myrinet-2000": "myrinet",
+    "infiniband": "infiniband",
+    "infiniband-infinihost3": "infiniband",
+    "ib": "infiniband",
+}
+
+
+def paper_penalties(scheme: str, network: str) -> Mapping[str, float]:
+    """Look up the Figure 2 penalties of one scheme on one network.
+
+    >>> paper_penalties("S3", "ethernet")["a"]
+    2.25
+    """
+    key = _NETWORK_KEYS.get(network.lower())
+    if key is None:
+        raise KeyError(f"unknown network {network!r}")
+    scheme_key = scheme.upper()
+    if scheme_key not in FIGURE2_PENALTIES:
+        raise KeyError(f"unknown Figure 2 scheme {scheme!r}")
+    return FIGURE2_PENALTIES[scheme_key][key]

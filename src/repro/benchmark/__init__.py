@@ -1,0 +1,12 @@
+"""Penalty measurement tooling (the paper's benchmark software) and sweeps."""
+
+from .penalty_tool import PenaltyMeasurement, PenaltyTool
+from .runner import ExperimentRunner, SchemeResult, SweepResult
+
+__all__ = [
+    "PenaltyTool",
+    "PenaltyMeasurement",
+    "ExperimentRunner",
+    "SchemeResult",
+    "SweepResult",
+]

@@ -1,0 +1,129 @@
+"""Experiment runner: sweeps of schemes × networks × models.
+
+The benchmark harness (``benchmarks/``) regenerates every table and figure of
+the paper; this module contains the shared orchestration so that the
+benchmark files stay declarative: run a scheme on the emulator of each
+network, predict it with each model, and collect measured/predicted pairs for
+the analysis layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.graph import CommunicationGraph
+from ..core.penalty import ContentionModel, LinearCostModel
+from ..core.registry import model_for_network
+from ..network.technologies import NetworkTechnology, get_technology
+from ..units import MB
+from .penalty_tool import PenaltyMeasurement, PenaltyTool
+
+__all__ = ["SchemeResult", "SweepResult", "ExperimentRunner"]
+
+
+@dataclass
+class SchemeResult:
+    """Measured and predicted quantities for one scheme on one network."""
+
+    scheme_name: str
+    network: str
+    measurement: PenaltyMeasurement
+    predicted_penalties: Dict[str, float]
+    predicted_times: Dict[str, float]
+    measured_times: Dict[str, float]
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self.measurement.penalties)
+
+    def rows(self) -> List[Dict[str, float]]:
+        """One dict per communication with measured/predicted values."""
+        rows = []
+        for name in self.names:
+            measured_t = self.measured_times[name]
+            predicted_t = self.predicted_times[name]
+            rows.append({
+                "communication": name,
+                "measured_time": measured_t,
+                "predicted_time": predicted_t,
+                "measured_penalty": self.measurement.penalties[name],
+                "predicted_penalty": self.predicted_penalties[name],
+                "relative_error_percent": 100.0 * (predicted_t - measured_t) / measured_t,
+            })
+        return rows
+
+
+@dataclass
+class SweepResult:
+    """Results of a sweep over several schemes and/or networks."""
+
+    results: List[SchemeResult] = field(default_factory=list)
+
+    def for_network(self, network: str) -> List[SchemeResult]:
+        return [r for r in self.results if r.network == network]
+
+    def for_scheme(self, scheme_name: str) -> List[SchemeResult]:
+        return [r for r in self.results if r.scheme_name == scheme_name]
+
+
+class ExperimentRunner:
+    """Runs schemes against the emulator and a model for a set of networks."""
+
+    def __init__(self, networks: Sequence[str] = ("ethernet", "myrinet", "infiniband"),
+                 iterations: int = 3, num_hosts: int = 64) -> None:
+        self.networks = tuple(networks)
+        self.tools: Dict[str, PenaltyTool] = {
+            name: PenaltyTool(name, iterations=iterations, num_hosts=num_hosts)
+            for name in self.networks
+        }
+
+    def cost_model(self, network: str) -> LinearCostModel:
+        technology = get_technology(network)
+        return LinearCostModel(
+            latency=technology.latency,
+            bandwidth=technology.single_stream_bandwidth,
+            envelope=technology.mpi_envelope,
+        )
+
+    def run_scheme(
+        self,
+        graph: CommunicationGraph,
+        network: str,
+        model: Optional[ContentionModel] = None,
+    ) -> SchemeResult:
+        """Measure ``graph`` on the emulator of ``network`` and predict it with ``model``."""
+        tool = self.tools.get(network) or PenaltyTool(network)
+        model = model or model_for_network(network)
+        measurement = tool.measure(graph)
+        cost = self.cost_model(network)
+        prediction = model.predict(graph, cost)
+        return SchemeResult(
+            scheme_name=graph.name,
+            network=network,
+            measurement=measurement,
+            predicted_penalties=prediction.penalties,
+            predicted_times=prediction.times,
+            measured_times=measurement.times,
+        )
+
+    def run_ladder(
+        self,
+        schemes: Mapping[str, CommunicationGraph],
+        networks: Optional[Sequence[str]] = None,
+    ) -> SweepResult:
+        """Measure a family of schemes on every network (Figure 2 style sweep)."""
+        sweep = SweepResult()
+        for network in networks or self.networks:
+            for graph in schemes.values():
+                sweep.results.append(self.run_scheme(graph, network))
+        return sweep
+
+    def run_models_comparison(
+        self,
+        graph: CommunicationGraph,
+        network: str,
+        models: Sequence[ContentionModel],
+    ) -> Dict[str, SchemeResult]:
+        """Compare several models against one measured scheme (baseline ablation)."""
+        return {model.name: self.run_scheme(graph, network, model) for model in models}

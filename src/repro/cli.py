@@ -1,0 +1,142 @@
+"""Command line interface: ``python -m repro <command>``.
+
+Gives shell access to the three everyday operations of the library:
+
+* ``predict`` — predict the penalties of a scheme (file or inline text) with a
+  contention model;
+* ``measure`` — measure a scheme on the calibrated cluster emulator (the
+  paper's penalty tool);
+* ``calibrate`` — run the §V.A calibration protocol against an emulated card
+  and print the estimated (β, γo, γi).
+
+Examples::
+
+    python -m repro predict --model myrinet --scheme "0->1 0->2 0->3"
+    python -m repro measure --network ethernet --scheme-file conflict.scm
+    python -m repro calibrate --network ethernet
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from .analysis import render_table
+from .benchmark import PenaltyTool
+from .core import LinearCostModel, calibrate_from_measurer, get_model, model_for_network
+from .core.graph import CommunicationGraph
+from .exceptions import ReproError
+from .network import get_technology
+from .scheme import parse_scheme
+from .units import MB, parse_size
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_scheme(args: argparse.Namespace) -> CommunicationGraph:
+    if args.scheme_file:
+        text = Path(args.scheme_file).read_text(encoding="utf-8")
+    elif args.scheme:
+        # inline form: whitespace separated "src->dst" tokens
+        text = "\n".join(token for token in args.scheme.replace(",", " ").split())
+    else:
+        raise ReproError("provide --scheme or --scheme-file")
+    size = parse_size(args.size) if args.size else 20 * MB
+    return parse_scheme(text, default_size=size)
+
+
+def _cost_model(network: str) -> LinearCostModel:
+    technology = get_technology(network)
+    return LinearCostModel(
+        latency=technology.latency,
+        bandwidth=technology.single_stream_bandwidth,
+        envelope=technology.mpi_envelope,
+    )
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    graph = _load_scheme(args)
+    try:
+        model = model_for_network(args.model)
+    except ReproError:
+        model = get_model(args.model)
+    prediction = model.predict(graph, _cost_model(args.network))
+    rows = [
+        [name, prediction.penalties[name], prediction.times.get(name, float("nan"))]
+        for name in graph.names
+    ]
+    print(render_table(["com.", "penalty", "predicted T [s]"], rows,
+                       title=f"{model.name} predictions on {args.network}",
+                       float_format="{:.4f}"))
+    return 0
+
+
+def cmd_measure(args: argparse.Namespace) -> int:
+    graph = _load_scheme(args)
+    tool = PenaltyTool(args.network, iterations=args.iterations, num_hosts=args.hosts)
+    measurement = tool.measure(graph)
+    print(measurement.table())
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    tool = PenaltyTool(args.network, iterations=args.iterations, num_hosts=args.hosts)
+    parameters = calibrate_from_measurer(tool.measure_penalties)
+    print(f"network  : {args.network}")
+    print(f"beta     : {parameters.beta:.4f}")
+    print(f"gamma_o  : {parameters.gamma_o:.4f}")
+    print(f"gamma_i  : {parameters.gamma_i:.4f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Bandwidth-sharing penalty models (Vienne et al., Cluster 2008)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_scheme_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scheme", help="inline scheme, e.g. '0->1 0->2 0->3'")
+        p.add_argument("--scheme-file", help="path to a scheme description file")
+        p.add_argument("--size", help="default message size (e.g. 20M, 4MB)", default=None)
+        p.add_argument("--network", default="ethernet",
+                       help="network technology (ethernet, myrinet, infiniband)")
+
+    predict = sub.add_parser("predict", help="predict penalties with a contention model")
+    add_scheme_arguments(predict)
+    predict.add_argument("--model", default=None,
+                         help="model name or network alias (defaults to the network's model)")
+    predict.set_defaults(handler=cmd_predict)
+
+    measure = sub.add_parser("measure", help="measure a scheme on the cluster emulator")
+    add_scheme_arguments(measure)
+    measure.add_argument("--iterations", type=int, default=3)
+    measure.add_argument("--hosts", type=int, default=32)
+    measure.set_defaults(handler=cmd_measure)
+
+    calibrate = sub.add_parser("calibrate", help="estimate (beta, gamma_o, gamma_i)")
+    calibrate.add_argument("--network", default="ethernet")
+    calibrate.add_argument("--iterations", type=int, default=3)
+    calibrate.add_argument("--hosts", type=int, default=32)
+    calibrate.set_defaults(handler=cmd_calibrate)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "predict" and args.model is None:
+        args.model = args.network
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

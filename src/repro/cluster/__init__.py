@@ -1,0 +1,47 @@
+"""Cluster descriptions and task placement.
+
+The "definition of the cluster" and "scheduling of tasks on nodes" inputs of
+the paper's simulator (§VI.A): SMP node specs, the three clusters the paper
+measured, and the RRN / RRP / Random / user-defined placement policies.
+"""
+
+from .node import NodeSpec, OPTERON_246, OPTERON_248, WOODCREST_2_4
+from .placement import (
+    PLACEMENT_POLICIES,
+    Placement,
+    make_placement,
+    random_placement,
+    round_robin_per_node,
+    round_robin_per_processor,
+    user_defined_placement,
+)
+from .spec import (
+    BULL_NOVASCALE_IB,
+    IBM_E325_MYRINET,
+    IBM_E326_GIGE,
+    PAPER_CLUSTERS,
+    ClusterSpec,
+    custom_cluster,
+    get_cluster,
+)
+
+__all__ = [
+    "NodeSpec",
+    "OPTERON_246",
+    "OPTERON_248",
+    "WOODCREST_2_4",
+    "ClusterSpec",
+    "IBM_E326_GIGE",
+    "IBM_E325_MYRINET",
+    "BULL_NOVASCALE_IB",
+    "PAPER_CLUSTERS",
+    "get_cluster",
+    "custom_cluster",
+    "Placement",
+    "round_robin_per_node",
+    "round_robin_per_processor",
+    "random_placement",
+    "user_defined_placement",
+    "make_placement",
+    "PLACEMENT_POLICIES",
+]

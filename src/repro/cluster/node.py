@@ -1,0 +1,97 @@
+"""SMP node description.
+
+The paper's clusters are built from dual-socket SMP nodes (the InfiniBand
+cluster has quad-core sockets); a node hosts several MPI tasks which share
+its NIC — the very situation that creates the outgoing / incoming / income-
+outgo conflicts studied by the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import TopologyError
+from ..units import GB
+
+__all__ = ["NodeSpec"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Hardware description of one SMP node."""
+
+    #: marketing name of the node / CPU ("AMD Opteron 248", ...)
+    cpu_model: str
+    #: number of sockets
+    sockets: int
+    #: cores per socket
+    cores_per_socket: int
+    #: clock frequency in GHz
+    frequency_ghz: float
+    #: main memory in bytes
+    memory: int
+    #: peak double-precision FLOP/s per core (used by the compute-event model)
+    flops_per_core: float
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1:
+            raise TopologyError(f"a node needs at least one socket, got {self.sockets}")
+        if self.cores_per_socket < 1:
+            raise TopologyError(
+                f"a node needs at least one core per socket, got {self.cores_per_socket}"
+            )
+        if self.frequency_ghz <= 0:
+            raise TopologyError(f"frequency must be positive, got {self.frequency_ghz}")
+        if self.memory <= 0:
+            raise TopologyError(f"memory must be positive, got {self.memory}")
+        if self.flops_per_core <= 0:
+            raise TopologyError(f"flops_per_core must be positive, got {self.flops_per_core}")
+
+    @property
+    def cores(self) -> int:
+        """Total number of cores of the node."""
+        return self.sockets * self.cores_per_socket
+
+    @property
+    def peak_flops(self) -> float:
+        """Aggregate peak FLOP/s of the node."""
+        return self.cores * self.flops_per_core
+
+    def describe(self) -> str:
+        return (
+            f"{self.sockets}x {self.cpu_model} @ {self.frequency_ghz:.1f} GHz "
+            f"({self.cores} cores, {self.memory / GB:.0f} GB RAM)"
+        )
+
+
+#: AMD Opteron 248 (2.2 GHz family run at 2.0 GHz in the paper's e326 nodes);
+#: 2 FLOP/cycle SSE2 double precision.
+OPTERON_248 = NodeSpec(
+    cpu_model="AMD Opteron 248",
+    sockets=2,
+    cores_per_socket=1,
+    frequency_ghz=2.0,
+    memory=4 * GB,
+    flops_per_core=4.0e9,
+)
+
+#: AMD Opteron 246 (2.0 GHz) used by the IBM e325 Myrinet cluster.
+OPTERON_246 = NodeSpec(
+    cpu_model="AMD Opteron 246",
+    sockets=2,
+    cores_per_socket=1,
+    frequency_ghz=2.0,
+    memory=2 * GB,
+    flops_per_core=4.0e9,
+)
+
+#: Intel Xeon 5150 "Woodcrest" (2.4 GHz, dual core, 4 FLOP/cycle) used by the
+#: BULL Novascale InfiniBand cluster (2 sockets x 2 cores = 4 cores/node).
+WOODCREST_2_4 = NodeSpec(
+    cpu_model="Intel Woodcrest 2.4GHz",
+    sockets=2,
+    cores_per_socket=2,
+    frequency_ghz=2.4,
+    memory=4 * GB,
+    flops_per_core=9.6e9,
+)

@@ -1,0 +1,137 @@
+"""Cluster descriptions (§IV.C and §VI.A of the paper).
+
+A :class:`ClusterSpec` is the "definition of the cluster" input of the
+paper's simulator: number of nodes, cores per node, and the interconnect.
+The three clusters used in the paper are provided as presets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..exceptions import TopologyError
+from ..network.technologies import (
+    GIGABIT_ETHERNET,
+    INFINIBAND_INFINIHOST3,
+    MYRINET_2000,
+    NetworkTechnology,
+    get_technology,
+)
+from .node import NodeSpec, OPTERON_246, OPTERON_248, WOODCREST_2_4
+
+__all__ = [
+    "ClusterSpec",
+    "IBM_E326_GIGE",
+    "IBM_E325_MYRINET",
+    "BULL_NOVASCALE_IB",
+    "PAPER_CLUSTERS",
+    "get_cluster",
+]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of SMP nodes on a single interconnect."""
+
+    name: str
+    num_nodes: int
+    node: NodeSpec
+    technology: NetworkTechnology
+    #: free-form description of the MPI stack used by the paper on this cluster
+    mpi_stack: str = "MPI"
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise TopologyError(f"a cluster needs at least one node, got {self.num_nodes}")
+
+    @property
+    def cores_per_node(self) -> int:
+        return self.node.cores
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.cores
+
+    def max_tasks(self, tasks_per_core: int = 1) -> int:
+        """Maximum number of MPI tasks schedulable with ``tasks_per_core`` each."""
+        if tasks_per_core < 1:
+            raise TopologyError(f"tasks_per_core must be >= 1, got {tasks_per_core}")
+        return self.total_cores * tasks_per_core
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.num_nodes} nodes of {self.node.describe()}, "
+            f"{self.technology.name} interconnect, {self.mpi_stack}"
+        )
+
+
+#: Gigabit Ethernet cluster: IBM eServer 326, 53 nodes, 2x Opteron 248, MPICH.
+IBM_E326_GIGE = ClusterSpec(
+    name="IBM eServer 326 (Gigabit Ethernet)",
+    num_nodes=53,
+    node=OPTERON_248,
+    technology=GIGABIT_ETHERNET,
+    mpi_stack="MPICH (TCP)",
+)
+
+#: Myrinet 2000 cluster: IBM eServer 325, 72 nodes, 2x Opteron 246, MPI-MX.
+IBM_E325_MYRINET = ClusterSpec(
+    name="IBM eServer 325 (Myrinet 2000)",
+    num_nodes=72,
+    node=OPTERON_246,
+    technology=MYRINET_2000,
+    mpi_stack="MPI MX",
+)
+
+#: InfiniBand cluster: BULL Novascale, 26 nodes, 2x Woodcrest (4 cores/node),
+#: MPIBULL2 (MVAPICH 1.0 based).
+BULL_NOVASCALE_IB = ClusterSpec(
+    name="BULL Novascale (InfiniHost III)",
+    num_nodes=26,
+    node=WOODCREST_2_4,
+    technology=INFINIBAND_INFINIHOST3,
+    mpi_stack="MPIBULL2 (MVAPICH 1.0)",
+)
+
+PAPER_CLUSTERS: Dict[str, ClusterSpec] = {
+    "gigabit-ethernet": IBM_E326_GIGE,
+    "ethernet": IBM_E326_GIGE,
+    "gige": IBM_E326_GIGE,
+    "myrinet": IBM_E325_MYRINET,
+    "myrinet-2000": IBM_E325_MYRINET,
+    "infiniband": BULL_NOVASCALE_IB,
+    "ib": BULL_NOVASCALE_IB,
+}
+
+
+def get_cluster(name: str) -> ClusterSpec:
+    """Look up one of the paper's clusters by network name or alias."""
+    key = name.lower()
+    if key not in PAPER_CLUSTERS:
+        raise TopologyError(
+            f"unknown cluster {name!r}; known: {', '.join(sorted(set(PAPER_CLUSTERS)))}"
+        )
+    return PAPER_CLUSTERS[key]
+
+
+def custom_cluster(
+    num_nodes: int,
+    cores_per_node: int = 2,
+    technology: NetworkTechnology | str = "ethernet",
+    name: str = "custom",
+    flops_per_core: float = 4.0e9,
+    memory_gb: float = 4.0,
+) -> ClusterSpec:
+    """Build an ad-hoc homogeneous cluster (used by tests and examples)."""
+    if isinstance(technology, str):
+        technology = get_technology(technology)
+    node = NodeSpec(
+        cpu_model="generic",
+        sockets=1,
+        cores_per_socket=cores_per_node,
+        frequency_ghz=2.0,
+        memory=int(memory_gb * 1e9),
+        flops_per_core=flops_per_core,
+    )
+    return ClusterSpec(name=name, num_nodes=num_nodes, node=node, technology=technology)

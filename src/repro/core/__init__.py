@@ -1,0 +1,76 @@
+"""Core contention models — the paper's primary contribution.
+
+This subpackage contains the communication-graph data structure, the conflict
+taxonomy (§IV.A), the Gigabit Ethernet model (§V.A), the Myrinet state-set
+model (§V.B), the InfiniBand extension (§VII future work), the related-work
+baselines (§II) and the parameter-estimation utilities.
+"""
+
+from .baselines import (
+    FairShareModel,
+    KimLeeModel,
+    LogGPContentionAdapter,
+    LogGPCostModel,
+    LogPCostModel,
+    NoContentionModel,
+)
+from .calibration import (
+    CalibrationMeasurement,
+    calibrate_from_measurer,
+    estimate_beta,
+    estimate_beta_from_times,
+    estimate_gammas,
+    fit_ethernet_parameters,
+    fit_infiniband_parameters,
+)
+from .conflicts import (
+    CommunicationConflicts,
+    ConflictKind,
+    ConflictReport,
+    classify_communication,
+    classify_graph,
+)
+from .ethernet_model import EthernetParameters, GigabitEthernetModel
+from .graph import Communication, CommunicationGraph, ConflictRule
+from .infiniband_model import InfinibandModel, InfinibandParameters
+from .myrinet_model import MyrinetModel, StateSetAnalysis, maximal_independent_sets
+from .penalty import ContentionModel, LinearCostModel, PenaltyPrediction
+from .registry import available_models, get_model, model_for_network, register_model
+
+__all__ = [
+    "Communication",
+    "CommunicationGraph",
+    "ConflictRule",
+    "ConflictKind",
+    "CommunicationConflicts",
+    "ConflictReport",
+    "classify_communication",
+    "classify_graph",
+    "ContentionModel",
+    "LinearCostModel",
+    "PenaltyPrediction",
+    "EthernetParameters",
+    "GigabitEthernetModel",
+    "MyrinetModel",
+    "StateSetAnalysis",
+    "maximal_independent_sets",
+    "InfinibandModel",
+    "InfinibandParameters",
+    "NoContentionModel",
+    "FairShareModel",
+    "KimLeeModel",
+    "LogPCostModel",
+    "LogGPCostModel",
+    "LogGPContentionAdapter",
+    "CalibrationMeasurement",
+    "estimate_beta",
+    "estimate_beta_from_times",
+    "estimate_gammas",
+    "fit_ethernet_parameters",
+    "fit_infiniband_parameters",
+    "calibrate_from_measurer",
+    "register_model",
+    "get_model",
+    "available_models",
+    "model_for_network",
+]

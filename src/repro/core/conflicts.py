@@ -1,0 +1,164 @@
+"""Elementary conflict taxonomy (§IV.A of the paper).
+
+A communication can be seized by one of the following elementary conflicts:
+
+* **outgoing conflict** ``C←X→`` — it leaves a node together with other
+  outgoing communications (node 0 of Figure 1);
+* **incoming conflict** ``C→X←`` — it arrives at a node together with other
+  incoming communications (node 1 of Figure 1);
+* **income/outgo conflict** ``C→X→`` / ``C←X←`` — it shares a node with
+  communications flowing in the opposite direction (node 2 of Figure 1).
+
+A communication may be involved in several elementary conflicts at once (for
+instance it can be in an outgoing conflict at its source *and* an incoming
+conflict at its destination).  :func:`classify_communication` returns the
+full set, and :func:`classify_graph` summarises a whole graph — this is the
+"kind of conflicts" statistic reported by the paper's simulator (§VI.A).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, List, Mapping, Tuple
+
+from .graph import Communication, CommunicationGraph
+
+__all__ = [
+    "ConflictKind",
+    "CommunicationConflicts",
+    "ConflictReport",
+    "classify_communication",
+    "classify_graph",
+]
+
+
+class ConflictKind(str, Enum):
+    """The elementary conflicts of §IV.A plus the no-conflict case."""
+
+    NONE = "none"
+    OUTGOING = "outgoing"            # C<-X->  : shares its source with other outgoing comms
+    INCOMING = "incoming"            # C->X<-  : shares its destination with other incoming comms
+    INCOME_OUTGO_SOURCE = "income-outgo-source"       # its source node also receives traffic
+    INCOME_OUTGO_DESTINATION = "income-outgo-destination"  # its destination node also sends traffic
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class CommunicationConflicts:
+    """Conflicts a single communication is involved in."""
+
+    name: str
+    kinds: FrozenSet[ConflictKind]
+    delta_o: int
+    delta_i: int
+    #: number of communications entering the source node (income/outgo pressure)
+    source_in_degree: int
+    #: number of communications leaving the destination node
+    destination_out_degree: int
+
+    @property
+    def is_conflicted(self) -> bool:
+        return ConflictKind.NONE not in self.kinds
+
+    @property
+    def degree_product(self) -> int:
+        """A simple severity proxy: Δo(i) × Δi(i)."""
+        return self.delta_o * self.delta_i
+
+
+def classify_communication(graph: CommunicationGraph, comm: Communication | str) -> CommunicationConflicts:
+    """Classify one communication of ``graph`` into the §IV.A taxonomy."""
+    comm = graph[comm] if isinstance(comm, str) else graph[comm.name]
+    delta_o = graph.delta_o(comm)
+    delta_i = graph.delta_i(comm)
+    source_in = graph.in_degree(comm.src)
+    dest_out = graph.out_degree(comm.dst)
+
+    kinds: set = set()
+    if delta_o > 1:
+        kinds.add(ConflictKind.OUTGOING)
+    if delta_i > 1:
+        kinds.add(ConflictKind.INCOMING)
+    if source_in > 0 and not comm.is_intra_node:
+        kinds.add(ConflictKind.INCOME_OUTGO_SOURCE)
+    if dest_out > 0 and not comm.is_intra_node:
+        kinds.add(ConflictKind.INCOME_OUTGO_DESTINATION)
+    if not kinds:
+        kinds.add(ConflictKind.NONE)
+
+    return CommunicationConflicts(
+        name=comm.name,
+        kinds=frozenset(kinds),
+        delta_o=delta_o,
+        delta_i=delta_i,
+        source_in_degree=source_in,
+        destination_out_degree=dest_out,
+    )
+
+
+@dataclass
+class ConflictReport:
+    """Summary of the conflicts present in a communication graph."""
+
+    graph_name: str
+    per_communication: Dict[str, CommunicationConflicts] = field(default_factory=dict)
+
+    @property
+    def kind_counts(self) -> Counter:
+        """How many communications are involved in each elementary conflict."""
+        counter: Counter = Counter()
+        for conflicts in self.per_communication.values():
+            for kind in conflicts.kinds:
+                counter[kind] += 1
+        return counter
+
+    @property
+    def conflicted_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, c in self.per_communication.items() if c.is_conflicted)
+
+    @property
+    def conflict_free_names(self) -> Tuple[str, ...]:
+        return tuple(name for name, c in self.per_communication.items() if not c.is_conflicted)
+
+    @property
+    def max_out_degree(self) -> int:
+        return max((c.delta_o for c in self.per_communication.values()), default=0)
+
+    @property
+    def max_in_degree(self) -> int:
+        return max((c.delta_i for c in self.per_communication.values()), default=0)
+
+    def summary(self) -> str:
+        """Human readable report used by examples and the simulator output."""
+        counts = self.kind_counts
+        lines = [f"Conflict report for {self.graph_name or '(unnamed graph)'}:"]
+        lines.append(f"  communications          : {len(self.per_communication)}")
+        lines.append(f"  conflict-free           : {counts.get(ConflictKind.NONE, 0)}")
+        lines.append(f"  outgoing conflicts      : {counts.get(ConflictKind.OUTGOING, 0)}")
+        lines.append(f"  incoming conflicts      : {counts.get(ConflictKind.INCOMING, 0)}")
+        lines.append(
+            "  income/outgo conflicts  : "
+            f"{counts.get(ConflictKind.INCOME_OUTGO_SOURCE, 0)} at source, "
+            f"{counts.get(ConflictKind.INCOME_OUTGO_DESTINATION, 0)} at destination"
+        )
+        lines.append(f"  max Δo / max Δi         : {self.max_out_degree} / {self.max_in_degree}")
+        return "\n".join(lines)
+
+
+def classify_graph(graph: CommunicationGraph) -> ConflictReport:
+    """Classify every communication of ``graph``.
+
+    >>> from repro.core.graph import CommunicationGraph
+    >>> g = CommunicationGraph.from_edges([(0, 1), (0, 2)])
+    >>> report = classify_graph(g)
+    >>> report.per_communication['a'].kinds == frozenset({ConflictKind.OUTGOING})
+    True
+    """
+    report = ConflictReport(graph_name=graph.name)
+    for comm in graph:
+        report.per_communication[comm.name] = classify_communication(graph, comm)
+    return report

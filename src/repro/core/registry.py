@@ -1,0 +1,91 @@
+"""Model registry.
+
+Maps short technology names ("ethernet", "myrinet", "infiniband", baseline
+names) to contention-model factories, so that the simulator, the benchmark
+harness and the examples can select a model from a configuration string —
+this mirrors the "definition of the kind of model" input of the paper's
+simulator (§VI.A).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List
+
+from ..exceptions import ModelError
+from .baselines import FairShareModel, KimLeeModel, NoContentionModel
+from .ethernet_model import GigabitEthernetModel
+from .infiniband_model import InfinibandModel
+from .myrinet_model import MyrinetModel
+from .penalty import ContentionModel
+
+__all__ = ["register_model", "get_model", "available_models", "model_for_network"]
+
+
+ModelFactory = Callable[..., ContentionModel]
+
+_REGISTRY: Dict[str, ModelFactory] = {}
+
+#: aliases accepted by :func:`model_for_network`
+_NETWORK_ALIASES: Dict[str, str] = {
+    "gigabit-ethernet": "ethernet",
+    "gige": "ethernet",
+    "gbe": "ethernet",
+    "tcp": "ethernet",
+    "ethernet": "ethernet",
+    "myrinet": "myrinet",
+    "myrinet-2000": "myrinet",
+    "mx": "myrinet",
+    "infiniband": "infiniband",
+    "ib": "infiniband",
+    "infinihost3": "infiniband",
+    "infinihost-iii": "infiniband",
+    "infiniband-infinihost3": "infiniband",
+}
+
+
+def register_model(name: str, factory: ModelFactory, overwrite: bool = False) -> None:
+    """Register a model factory under ``name`` (lower-cased)."""
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ModelError(f"model {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def get_model(name: str, **kwargs) -> ContentionModel:
+    """Instantiate a registered contention model by name.
+
+    >>> get_model("ethernet").name
+    'gigabit-ethernet'
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ModelError(
+            f"unknown model {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def available_models() -> List[str]:
+    """Sorted list of registered model names."""
+    return sorted(_REGISTRY)
+
+
+def model_for_network(network: str, **kwargs) -> ContentionModel:
+    """Return the paper's model for a network technology name or alias."""
+    key = network.lower()
+    if key not in _NETWORK_ALIASES:
+        raise ModelError(
+            f"no model associated with network {network!r}; known networks: "
+            f"{', '.join(sorted(set(_NETWORK_ALIASES)))}"
+        )
+    return get_model(_NETWORK_ALIASES[key], **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# built-in registrations
+register_model("ethernet", GigabitEthernetModel)
+register_model("myrinet", MyrinetModel)
+register_model("infiniband", InfinibandModel)
+register_model("no-contention", NoContentionModel)
+register_model("fair-share", FairShareModel)
+register_model("kim-lee", KimLeeModel)

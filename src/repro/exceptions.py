@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures without masking programming
+errors (``TypeError``, ``ValueError`` raised by NumPy, etc.).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "ModelError",
+    "CalibrationError",
+    "TopologyError",
+    "SchedulingError",
+    "SchemeParseError",
+    "SimulationError",
+    "DeadlockError",
+    "TraceError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class GraphError(ReproError):
+    """Invalid communication graph (unknown node, self loop where forbidden, ...)."""
+
+
+class ModelError(ReproError):
+    """A contention model was given inconsistent parameters or inputs."""
+
+
+class CalibrationError(ModelError):
+    """Parameter estimation failed (degenerate measurements, wrong scheme shape)."""
+
+
+class TopologyError(ReproError):
+    """Invalid cluster / network topology description."""
+
+
+class SchedulingError(ReproError):
+    """Task placement request that cannot be satisfied."""
+
+
+class SchemeParseError(ReproError):
+    """The communication-scheme description language could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+
+
+class SimulationError(ReproError):
+    """The discrete-event / fluid simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """All simulated tasks are blocked and no event can make progress."""
+
+    def __init__(self, message: str, blocked_tasks=None):
+        self.blocked_tasks = list(blocked_tasks) if blocked_tasks is not None else []
+        super().__init__(message)
+
+
+class TraceError(ReproError):
+    """An application trace is malformed (bad event, negative duration, ...)."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received inconsistent parameters."""

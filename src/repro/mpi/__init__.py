@@ -1,0 +1,6 @@
+"""Simulated MPI layer: rank programs, operations and the runtime."""
+
+from .api import ANY_SOURCE, Rank
+from .runtime import MpiRuntime, fanout_program, ring_program
+
+__all__ = ["ANY_SOURCE", "Rank", "MpiRuntime", "ring_program", "fanout_program"]

@@ -1,0 +1,93 @@
+"""Simulated MPI programming interface.
+
+The paper's methodology is defined in terms of MPI primitives: blocking
+``MPI_Send``, receives with ``MPI_ANY_SOURCE`` and synchronisation barriers
+(§IV.B).  This module lets users write *rank programs* as Python generator
+functions that yield MPI operations; the runtime
+(:mod:`repro.mpi.runtime`) executes them on the simulation engine, so the
+same program can be timed under any contention model or under the cluster
+emulator.
+
+Example
+-------
+
+.. code-block:: python
+
+    from repro.mpi import MpiRuntime, Rank
+
+    def program(rank: Rank, size: int):
+        if rank.id == 0:
+            yield rank.send(1, 20_000_000)
+        else:
+            result = yield rank.recv(source=0)
+            # ``result["source"]`` and ``result["duration"]`` are available
+
+    runtime = MpiRuntime.predictive("myrinet")
+    report = runtime.run(program, num_tasks=2)
+
+The operations yielded are the same event dataclasses the trace-based
+simulator consumes, so there is a single execution semantics for both paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import TraceError
+from ..simulator.events import (
+    ANY_SOURCE,
+    BarrierEvent,
+    ComputeEvent,
+    RecvEvent,
+    SendEvent,
+)
+
+__all__ = ["ANY_SOURCE", "Rank"]
+
+
+@dataclass(frozen=True)
+class Rank:
+    """Handle passed to every rank program: its id, the world size and op builders."""
+
+    id: int
+    world_size: int
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.id < self.world_size):
+            raise TraceError(f"rank {self.id} outside world of size {self.world_size}")
+
+    # --------------------------------------------------------------- builders
+    def send(self, dest: int, size: int, tag: int = 0, label: str = "") -> SendEvent:
+        """Blocking standard send of ``size`` bytes to ``dest``."""
+        if dest == self.id:
+            raise TraceError(f"rank {self.id} cannot send to itself")
+        return SendEvent(dst=dest, size=size, tag=tag, label=label)
+
+    def recv(self, source: int = ANY_SOURCE, size: Optional[int] = None, tag: int = 0,
+             label: str = "") -> RecvEvent:
+        """Blocking receive from ``source`` (default: any source)."""
+        if source == self.id:
+            raise TraceError(f"rank {self.id} cannot receive from itself")
+        return RecvEvent(src=source, size=size, tag=tag, label=label)
+
+    def barrier(self, label: str = "") -> BarrierEvent:
+        """Global synchronisation barrier."""
+        return BarrierEvent(label=label)
+
+    def compute(self, seconds: Optional[float] = None, flops: Optional[float] = None,
+                label: str = "") -> ComputeEvent:
+        """Local computation, given in seconds or floating point operations."""
+        return ComputeEvent(duration=seconds, flops=flops, label=label)
+
+    # ------------------------------------------------------------- utilities
+    @property
+    def is_root(self) -> bool:
+        return self.id == 0
+
+    def next_rank(self) -> int:
+        """Rank ``(id + 1) mod world_size`` — the paper's ring neighbour."""
+        return (self.id + 1) % self.world_size
+
+    def previous_rank(self) -> int:
+        return (self.id - 1) % self.world_size

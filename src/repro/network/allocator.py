@@ -1,0 +1,143 @@
+"""Technology-aware rate allocation — the heart of the cluster emulator.
+
+Given the set of transfers currently in flight, the allocator distributes
+instantaneous bandwidth the way the emulated interconnect would:
+
+* every inter-node transfer consumes the TX port of its source NIC, the RX
+  port of its destination NIC and the fat-tree links in between;
+* every intra-node transfer consumes the memory bus of its host;
+* a single transfer cannot exceed the protocol's single-stream bandwidth
+  (``single_stream_efficiency × link_bandwidth``);
+* income/outgo interference degrades, per the calibrated
+  :class:`~repro.network.technologies.SharingBehaviour`:
+
+  - the individual cap of a transfer whose destination node is also
+    transmitting (``duplex_flow_slowdown``),
+  - the TX capacity of a node receiving at least ``reverse_threshold``
+    transfers (``tx_capacity_loss``),
+  - the RX capacity of a node receiving at least ``reverse_threshold``
+    transfers while transmitting (``rx_capacity_loss``);
+
+* the remaining capacity is shared max-min fair
+  (:func:`repro.network.sharing.max_min_allocation`).
+
+With the shipped calibration the allocator reproduces the penalty ladder the
+paper measured on its three clusters (Figure 2) to within a few percent; see
+``benchmarks/bench_fig2_penalty_ladder.py`` and ``EXPERIMENTS.md``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Sequence
+
+from ..exceptions import SimulationError
+from .fluid import Transfer
+from .sharing import FlowSpec, max_min_allocation
+from .technologies import NetworkTechnology
+from .topology import CrossbarTopology, Topology
+
+__all__ = ["EmulatorRateProvider"]
+
+
+class EmulatorRateProvider:
+    """Rate provider implementing the calibrated sharing behaviour of a technology."""
+
+    def __init__(self, technology: NetworkTechnology, topology: Topology | None = None,
+                 num_hosts: int = 64) -> None:
+        self.technology = technology
+        self.topology = topology or CrossbarTopology(num_hosts=num_hosts, technology=technology)
+        if self.topology.technology is not technology:
+            # keep the two consistent; the topology carries link capacities
+            self.topology.technology = technology
+
+    # ---------------------------------------------------------------- helpers
+    def _directional_counts(self, active: Sequence[Transfer]) -> Dict[int, Dict[str, int]]:
+        """Per-host counts of inter-node transfers leaving (tx) and entering (rx)."""
+        counts: Dict[int, Dict[str, int]] = {}
+        for transfer in active:
+            if transfer.is_intra_node:
+                continue
+            counts.setdefault(transfer.src, {"tx": 0, "rx": 0})["tx"] += 1
+            counts.setdefault(transfer.dst, {"tx": 0, "rx": 0})["rx"] += 1
+        return counts
+
+    def _adjusted_capacities(
+        self, counts: Mapping[int, Mapping[str, int]]
+    ) -> Dict[Hashable, float]:
+        """Topology capacities with the income/outgo degradations applied."""
+        sharing = self.technology.sharing
+        capacities = self.topology.capacities()
+        for host, c in counts.items():
+            tx_key, rx_key = self.topology.nic_resources(host)
+            if c["rx"] >= sharing.reverse_threshold and c["tx"] >= 1:
+                capacities[tx_key] *= 1.0 - sharing.tx_capacity_loss
+                capacities[rx_key] *= 1.0 - sharing.rx_capacity_loss
+        return capacities
+
+    def _flow_specs(
+        self,
+        active: Sequence[Transfer],
+        counts: Mapping[int, Mapping[str, int]],
+    ) -> List[FlowSpec]:
+        sharing = self.technology.sharing
+        single = self.technology.single_stream_bandwidth
+        specs: List[FlowSpec] = []
+        for transfer in active:
+            if transfer.is_intra_node:
+                specs.append(
+                    FlowSpec(
+                        flow_id=transfer.transfer_id,
+                        resources=(self.topology.memory_resource(transfer.src),),
+                        cap=self.technology.memory_bandwidth,
+                    )
+                )
+                continue
+            cap = single
+            destination_transmits = counts.get(transfer.dst, {}).get("tx", 0) >= 1
+            if destination_transmits:
+                cap *= 1.0 - sharing.duplex_flow_slowdown
+            tx_key, _ = self.topology.nic_resources(transfer.src)
+            _, rx_key = self.topology.nic_resources(transfer.dst)
+            resources = (tx_key, rx_key) + tuple(
+                self.topology.fabric_route(transfer.src, transfer.dst)
+            )
+            specs.append(
+                FlowSpec(flow_id=transfer.transfer_id, resources=resources, cap=cap)
+            )
+        return specs
+
+    # -------------------------------------------------------------- interface
+    def rates(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
+        """Instantaneous rate of every active transfer, in bytes per second."""
+        if not active:
+            return {}
+        for transfer in active:
+            self.topology.check_host(transfer.src)
+            self.topology.check_host(transfer.dst)
+        counts = self._directional_counts(active)
+        capacities = self._adjusted_capacities(counts)
+        specs = self._flow_specs(active, counts)
+        return max_min_allocation(specs, capacities)
+
+    # ------------------------------------------------------------- penalties
+    def instantaneous_penalties(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
+        """Penalty of every active transfer under the current sharing situation.
+
+        The penalty is the ratio between the single-stream bandwidth and the
+        allocated rate — exactly the paper's ``P_i = T_i / T_ref`` when every
+        transfer of the scheme starts together and runs to completion.
+        """
+        rates = self.rates(active)
+        single = self.technology.single_stream_bandwidth
+        memory = self.technology.memory_bandwidth
+        penalties: Dict[Hashable, float] = {}
+        for transfer in active:
+            rate = rates[transfer.transfer_id]
+            if rate <= 0:
+                raise SimulationError(
+                    f"transfer {transfer.transfer_id!r} was allocated a zero rate"
+                )
+            reference = memory if transfer.is_intra_node else single
+            penalties[transfer.transfer_id] = max(1.0, reference / rate)
+        return penalties

@@ -1,0 +1,292 @@
+"""Packet-level models of the flow-control mechanisms (§III of the paper).
+
+The calibrated fluid emulator (:mod:`repro.network.allocator`) is what the
+benchmark harness uses as the "measured" substrate, because its sharing
+behaviour is fitted to the penalties the paper publishes.  This module
+provides **mechanism-level** discrete-event models of the two flow controls
+the paper describes in detail, so that the qualitative behaviours the models
+capture can be demonstrated from first principles rather than from the
+calibration:
+
+* :class:`StopAndGoNetwork` — Myrinet 2000 cut-through routing with Stop & Go
+  flow control: a NIC transmits one packet at a time; if the destination NIC
+  is busy receiving another packet the sender is **blocked** (Stop) and holds
+  its transmit port until the receiver frees (Go).  Concurrent sends from one
+  node therefore serialise almost perfectly, and a busy receiver back-
+  pressures its senders — exactly the structure the state-set model encodes.
+* :class:`CreditBasedNetwork` — InfiniBand: the receiver grants buffer
+  credits; a sender only transmits when it holds a credit, otherwise it moves
+  on to another of its flows (no head-of-line blocking across destinations).
+
+Both simulators share the same event-driven core and return per-transfer
+completion times; they are exercised by the unit tests and the
+``examples/flow_control_mechanisms.py`` example.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from ..exceptions import SimulationError
+from ..units import KiB
+from .fluid import Transfer, TransferResult
+from .technologies import NetworkTechnology
+
+__all__ = ["PacketLevelNetwork", "StopAndGoNetwork", "CreditBasedNetwork"]
+
+
+@dataclass
+class _FlowState:
+    transfer: Transfer
+    packets_left: int
+    started: bool = False
+    finish_time: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.packets_left <= 0
+
+
+class PacketLevelNetwork:
+    """Shared machinery of the packet-level flow-control simulators."""
+
+    def __init__(self, technology: NetworkTechnology, packet_size: int = 32 * KiB) -> None:
+        if packet_size <= 0:
+            raise SimulationError(f"packet size must be positive, got {packet_size}")
+        self.technology = technology
+        self.packet_size = int(packet_size)
+
+    # ------------------------------------------------------------------ setup
+    def _packet_count(self, transfer: Transfer) -> int:
+        size = transfer.size + self.technology.mpi_envelope
+        return max(1, -(-int(size) // self.packet_size))
+
+    def _packet_time(self) -> float:
+        return self.packet_size / self.technology.link_bandwidth
+
+    def _prepare(self, transfers: Sequence[Transfer]) -> Dict[Hashable, _FlowState]:
+        ids = [t.transfer_id for t in transfers]
+        if len(set(ids)) != len(ids):
+            raise SimulationError("duplicate transfer ids in packet simulation")
+        flows: Dict[Hashable, _FlowState] = {}
+        for transfer in transfers:
+            if transfer.is_intra_node:
+                raise SimulationError(
+                    "packet-level simulators model the NIC; intra-node transfers "
+                    "must be handled by the memory path"
+                )
+            flows[transfer.transfer_id] = _FlowState(transfer, self._packet_count(transfer))
+        return flows
+
+    def simulate(self, transfers: Sequence[Transfer]) -> Dict[Hashable, TransferResult]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ conveniences
+    def durations(self, transfers: Sequence[Transfer]) -> Dict[Hashable, float]:
+        return {tid: r.duration for tid, r in self.simulate(transfers).items()}
+
+    def penalties(self, transfers: Sequence[Transfer]) -> Dict[Hashable, float]:
+        """Duration of each transfer divided by its isolated duration."""
+        durations = self.durations(transfers)
+        penalties = {}
+        for transfer in transfers:
+            alone = self.durations([transfer])[transfer.transfer_id]
+            penalties[transfer.transfer_id] = durations[transfer.transfer_id] / alone
+        return penalties
+
+
+class StopAndGoNetwork(PacketLevelNetwork):
+    """Myrinet-style cut-through network with Stop & Go flow control."""
+
+    def simulate(self, transfers: Sequence[Transfer]) -> Dict[Hashable, TransferResult]:
+        flows = self._prepare(transfers)
+        ptime = self._packet_time()
+        latency = self.technology.latency
+
+        # per-source round-robin order of flows
+        by_source: Dict[int, Deque[Hashable]] = {}
+        for tid, state in flows.items():
+            by_source.setdefault(state.transfer.src, deque()).append(tid)
+
+        rx_free: Dict[int, float] = {}
+        results: Dict[Hashable, TransferResult] = {}
+
+        # event queue of (time, seq, source) "transmit port free" events
+        counter = itertools.count()
+        events: List[Tuple[float, int, int]] = []
+        for source in by_source:
+            start = min(flows[tid].transfer.start_time for tid in by_source[source])
+            heapq.heappush(events, (start + latency, next(counter), source))
+
+        guard = 0
+        total_packets = sum(state.packets_left for state in flows.values())
+        max_events = 4 * total_packets + 4 * len(flows) + 8
+
+        while events:
+            guard += 1
+            if guard > max_events:
+                raise SimulationError("Stop & Go simulation exceeded its event budget")
+            now, _, source = heapq.heappop(events)
+            queue = by_source[source]
+
+            # drop finished flows from the head of the round-robin queue
+            while queue and flows[queue[0]].done:
+                queue.popleft()
+            if not queue:
+                continue
+
+            # pick the next flow of this source whose start time has arrived
+            eligible = None
+            for _ in range(len(queue)):
+                tid = queue[0]
+                if flows[tid].transfer.start_time + latency <= now + 1e-15:
+                    eligible = tid
+                    break
+                queue.rotate(-1)
+            if eligible is None:
+                wake = min(flows[t].transfer.start_time for t in queue) + latency
+                heapq.heappush(events, (wake, next(counter), source))
+                continue
+
+            state = flows[eligible]
+            dst = state.transfer.dst
+            # Stop & Go: wait (holding the TX port) until the receiver is free
+            start = max(now, rx_free.get(dst, 0.0))
+            finish = start + ptime
+            rx_free[dst] = finish
+            state.packets_left -= 1
+            state.started = True
+            if state.done:
+                state.finish_time = finish
+                results[eligible] = TransferResult(
+                    eligible, state.transfer.start_time, finish
+                )
+            # round-robin: move this flow to the back of its source queue
+            queue.rotate(-1)
+            heapq.heappush(events, (finish, next(counter), source))
+
+        missing = [tid for tid, state in flows.items() if not state.done]
+        if missing:
+            raise SimulationError(f"Stop & Go simulation left transfers unfinished: {missing!r}")
+        return results
+
+
+class CreditBasedNetwork(PacketLevelNetwork):
+    """InfiniBand-style credit-based (buffered) flow control."""
+
+    def __init__(
+        self,
+        technology: NetworkTechnology,
+        packet_size: int = 32 * KiB,
+        credits_per_destination: int = 8,
+    ) -> None:
+        super().__init__(technology, packet_size)
+        if credits_per_destination < 1:
+            raise SimulationError("credits_per_destination must be >= 1")
+        self.credits_per_destination = int(credits_per_destination)
+
+    def simulate(self, transfers: Sequence[Transfer]) -> Dict[Hashable, TransferResult]:
+        flows = self._prepare(transfers)
+        ptime = self._packet_time()
+        latency = self.technology.latency
+
+        by_source: Dict[int, Deque[Hashable]] = {}
+        destinations = set()
+        links = set()
+        for tid, state in flows.items():
+            by_source.setdefault(state.transfer.src, deque()).append(tid)
+            destinations.add(state.transfer.dst)
+            links.add((state.transfer.src, state.transfer.dst))
+
+        # InfiniBand credits are granted per link (virtual lane) between a
+        # sender and a receiver buffer, so they are tracked per (src, dst).
+        credits: Dict[Tuple[int, int], int] = {
+            link: self.credits_per_destination for link in links
+        }
+        rx_drain_free: Dict[int, float] = {dst: 0.0 for dst in destinations}
+        results: Dict[Hashable, TransferResult] = {}
+
+        counter = itertools.count()
+        # events: ("tx", source) transmit port free; ("credit", (src, dst)) one credit returned
+        events: List[Tuple[float, int, str, object]] = []
+        for source in by_source:
+            start = min(flows[tid].transfer.start_time for tid in by_source[source])
+            heapq.heappush(events, (start + latency, next(counter), "tx", source))
+
+        blocked_sources: Dict[Tuple[int, int], set] = {link: set() for link in links}
+        guard = 0
+        total_packets = sum(state.packets_left for state in flows.values())
+        max_events = 6 * total_packets + 6 * len(flows) + 8
+
+        while events:
+            guard += 1
+            if guard > max_events:
+                raise SimulationError("credit-based simulation exceeded its event budget")
+            now, _, kind, ident = heapq.heappop(events)
+
+            if kind == "credit":
+                credits[ident] += 1
+                for source in sorted(blocked_sources[ident]):
+                    heapq.heappush(events, (now, next(counter), "tx", source))
+                blocked_sources[ident].clear()
+                continue
+
+            source = ident
+            queue = by_source[source]
+            while queue and flows[queue[0]].done:
+                queue.popleft()
+            if not queue:
+                continue
+
+            # pick the first eligible flow (started and with a credit available)
+            chosen = None
+            for _ in range(len(queue)):
+                tid = queue[0]
+                state = flows[tid]
+                ready = state.transfer.start_time + latency <= now + 1e-15
+                link = (state.transfer.src, state.transfer.dst)
+                if ready and credits[link] > 0 and not state.done:
+                    chosen = tid
+                    break
+                queue.rotate(-1)
+
+            if chosen is None:
+                # every flow of this source is waiting for credits (or its start
+                # time); register against the destinations so a returning credit
+                # wakes this source up
+                future_starts = []
+                for tid in queue:
+                    state = flows[tid]
+                    if state.transfer.start_time + latency > now + 1e-15:
+                        future_starts.append(state.transfer.start_time + latency)
+                    else:
+                        blocked_sources[(state.transfer.src, state.transfer.dst)].add(source)
+                if future_starts:
+                    heapq.heappush(events, (min(future_starts), next(counter), "tx", source))
+                continue
+
+            state = flows[chosen]
+            dst = state.transfer.dst
+            credits[(state.transfer.src, dst)] -= 1
+            finish = now + ptime
+            state.packets_left -= 1
+            # the receiver drains buffered packets one at a time at link rate and
+            # then returns the credit
+            drain_start = max(finish, rx_drain_free[dst])
+            drain_finish = drain_start + ptime
+            rx_drain_free[dst] = drain_finish
+            heapq.heappush(events, (drain_finish, next(counter), "credit", (state.transfer.src, dst)))
+            if state.done:
+                state.finish_time = drain_finish
+                results[chosen] = TransferResult(chosen, state.transfer.start_time, drain_finish)
+            queue.rotate(-1)
+            heapq.heappush(events, (finish, next(counter), "tx", source))
+
+        missing = [tid for tid, state in flows.items() if not state.done]
+        if missing:
+            raise SimulationError(f"credit simulation left transfers unfinished: {missing!r}")
+        return results

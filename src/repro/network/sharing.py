@@ -1,0 +1,173 @@
+"""Bandwidth sharing solvers.
+
+The cluster emulator allocates an instantaneous rate to every in-flight flow
+by **progressive filling** (max-min fairness) over a set of capacity
+constraints: each flow consumes capacity on a set of *resources* (source NIC
+TX port, destination NIC RX port, intermediate links, the memory bus for
+intra-node copies) and may additionally be limited by a per-flow cap (the
+single-stream efficiency of the protocol).
+
+The solver is deliberately generic — resources are opaque hashable
+identifiers — so the same code serves the per-technology allocators of
+:mod:`repro.network.ethernet` / ``myrinet`` / ``infiniband`` and the
+fat-tree link sharing of :mod:`repro.network.topology`.
+
+The implementation follows the textbook water-filling algorithm:
+
+1. every unfrozen flow grows at the same rate;
+2. the first constraint to saturate (a resource whose remaining capacity
+   divided by its number of unfrozen flows is minimal, or a per-flow cap)
+   freezes the flows it limits;
+3. repeat until every flow is frozen.
+
+NumPy is used for the per-iteration reductions; the number of iterations is
+bounded by the number of resources plus the number of distinct caps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import SimulationError
+
+__all__ = ["FlowSpec", "max_min_allocation", "weighted_max_min_allocation"]
+
+ResourceId = Hashable
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow handed to the sharing solver.
+
+    ``resources`` is the collection of capacity constraints the flow consumes
+    (its rate counts against each of them); ``cap`` is an optional individual
+    rate ceiling; ``weight`` scales the flow's share in the weighted variant.
+    """
+
+    flow_id: Hashable
+    resources: Tuple[ResourceId, ...]
+    cap: float = float("inf")
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.cap <= 0:
+            raise SimulationError(f"flow {self.flow_id!r} has non-positive cap {self.cap}")
+        if self.weight <= 0:
+            raise SimulationError(f"flow {self.flow_id!r} has non-positive weight {self.weight}")
+
+
+def max_min_allocation(
+    flows: Sequence[FlowSpec],
+    capacities: Mapping[ResourceId, float],
+) -> Dict[Hashable, float]:
+    """Max-min fair rates for ``flows`` under ``capacities``.
+
+    Flows that reference a resource missing from ``capacities`` raise
+    :class:`SimulationError` (it is always a programming error in the
+    emulator).  Flows with no resources are only limited by their cap.
+
+    >>> flows = [FlowSpec("a", ("tx0",)), FlowSpec("b", ("tx0",))]
+    >>> rates = max_min_allocation(flows, {"tx0": 100.0})
+    >>> rates["a"] == rates["b"] == 50.0
+    True
+    """
+    return weighted_max_min_allocation(flows, capacities)
+
+
+def weighted_max_min_allocation(
+    flows: Sequence[FlowSpec],
+    capacities: Mapping[ResourceId, float],
+) -> Dict[Hashable, float]:
+    """Weighted max-min fair allocation (weights scale each flow's share)."""
+    if not flows:
+        return {}
+
+    seen_ids = set()
+    for flow in flows:
+        if flow.flow_id in seen_ids:
+            raise SimulationError(f"duplicate flow id {flow.flow_id!r}")
+        seen_ids.add(flow.flow_id)
+        for resource in flow.resources:
+            if resource not in capacities:
+                raise SimulationError(
+                    f"flow {flow.flow_id!r} uses unknown resource {resource!r}"
+                )
+    for resource, capacity in capacities.items():
+        if capacity < 0:
+            raise SimulationError(f"resource {resource!r} has negative capacity {capacity}")
+
+    rates: Dict[Hashable, float] = {flow.flow_id: 0.0 for flow in flows}
+    remaining: Dict[ResourceId, float] = dict(capacities)
+    active: Dict[Hashable, FlowSpec] = {flow.flow_id: flow for flow in flows}
+    # current normalised fill level: every active flow has rate = level * weight
+    level = 0.0
+
+    max_iterations = len(flows) + len(capacities) + 1
+    for _ in range(max_iterations):
+        if not active:
+            break
+
+        # weight pressure on every resource from the still-active flows
+        pressure: Dict[ResourceId, float] = {}
+        for flow in active.values():
+            for resource in flow.resources:
+                pressure[resource] = pressure.get(resource, 0.0) + flow.weight
+
+        # how much further the common level can rise before a constraint binds
+        candidates: List[Tuple[float, str, Hashable]] = []
+        for resource, weight_sum in pressure.items():
+            if weight_sum <= 0:
+                continue
+            candidates.append((remaining[resource] / weight_sum, "resource", resource))
+        for flow in active.values():
+            headroom = (flow.cap - rates[flow.flow_id]) / flow.weight
+            candidates.append((headroom, "cap", flow.flow_id))
+
+        if not candidates:
+            # every remaining flow has no resources and an infinite cap
+            for flow_id in list(active):
+                rates[flow_id] = float("inf")
+            break
+
+        increment = min(c[0] for c in candidates)
+        increment = max(increment, 0.0)
+
+        # raise every active flow by increment * weight and charge resources
+        for flow in active.values():
+            delta = increment * flow.weight
+            rates[flow.flow_id] += delta
+            for resource in flow.resources:
+                remaining[resource] -= delta
+        level += increment
+
+        # freeze flows limited by a saturated constraint
+        eps = 1e-12
+        saturated_resources = {
+            resource for resource, weight_sum in pressure.items()
+            if remaining[resource] <= eps * max(1.0, capacities[resource])
+        }
+        to_freeze = []
+        for flow_id, flow in active.items():
+            cap_hit = rates[flow_id] >= flow.cap - eps * max(1.0, flow.cap if flow.cap != float("inf") else 1.0)
+            resource_hit = any(r in saturated_resources for r in flow.resources)
+            if cap_hit or resource_hit:
+                to_freeze.append(flow_id)
+        if not to_freeze:
+            # numerical safety: freeze the tightest flow to guarantee progress
+            tightest = min(
+                active.values(),
+                key=lambda f: min(
+                    [remaining[r] for r in f.resources] + [f.cap - rates[f.flow_id]]
+                ),
+            )
+            to_freeze.append(tightest.flow_id)
+        for flow_id in to_freeze:
+            active.pop(flow_id, None)
+    else:  # pragma: no cover - the loop always terminates within the bound
+        raise SimulationError("max-min allocation did not converge")
+
+    # clamp tiny negative numerical noise
+    return {flow_id: max(0.0, rate) for flow_id, rate in rates.items()}

@@ -1,0 +1,140 @@
+"""Communication-scheme description language.
+
+The paper's measurement software takes a "description of the communication
+task scheme using a specific description language" (§IV.B).  This module
+provides an equivalent small text language plus its parser and serialiser.
+
+Grammar (line oriented, ``#`` starts a comment)::
+
+    scheme <name>          # optional, names the graph
+    size <default-size>    # optional, default message size (e.g. 20M, 4MB)
+    <src> -> <dst> [: <name>] [<size>]
+
+Examples::
+
+    # Figure 2, second scheme: node 0 sends to nodes 1 and 2
+    scheme fig2-s2
+    size 20M
+    0 -> 1 : a
+    0 -> 2 : b
+
+    # anonymous communications with per-edge sizes
+    0 -> 1 4MB
+    1 -> 2 512k
+
+:func:`parse_scheme` returns a :class:`~repro.core.graph.CommunicationGraph`;
+:func:`format_scheme` is the inverse (round-trip safe up to whitespace).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Tuple
+
+from ..core.graph import CommunicationGraph
+from ..exceptions import SchemeParseError
+from ..units import MB, parse_size
+
+__all__ = ["parse_scheme", "format_scheme", "parse_edge_line"]
+
+
+_EDGE_RE = re.compile(
+    r"""^\s*
+        (?P<src>\d+)\s*->\s*(?P<dst>\d+)          # 0 -> 1
+        (?:\s*:\s*(?P<name>[A-Za-z_][\w-]*))?      # : a
+        (?:\s+(?P<size>[\d.]+\s*[A-Za-z]*))?       # 4MB
+        \s*$""",
+    re.VERBOSE,
+)
+
+_DIRECTIVE_RE = re.compile(r"^\s*(?P<key>scheme|name|size)\s+(?P<value>\S.*?)\s*$", re.IGNORECASE)
+
+
+def parse_edge_line(line: str) -> Optional[Tuple[int, int, Optional[str], Optional[int]]]:
+    """Parse a single edge line, returning ``(src, dst, name, size)`` or None.
+
+    Returns ``None`` when the line does not look like an edge at all (so the
+    caller can try directives); raises :class:`SchemeParseError` when it looks
+    like an edge but is malformed.
+    """
+    if "->" not in line:
+        return None
+    match = _EDGE_RE.match(line)
+    if not match:
+        raise SchemeParseError(f"malformed edge line: {line.strip()!r}")
+    src = int(match.group("src"))
+    dst = int(match.group("dst"))
+    name = match.group("name")
+    size_text = match.group("size")
+    size = None
+    if size_text is not None:
+        try:
+            size = parse_size(size_text)
+        except ValueError as exc:
+            raise SchemeParseError(str(exc)) from exc
+    return src, dst, name, size
+
+
+def parse_scheme(text: str, default_size: int = 20 * MB, name: str = "") -> CommunicationGraph:
+    """Parse a scheme description into a :class:`CommunicationGraph`.
+
+    >>> g = parse_scheme('''
+    ... scheme demo
+    ... size 4M
+    ... 0 -> 1 : a
+    ... 0 -> 2
+    ... ''')
+    >>> (g.name, len(g), g['a'].size)
+    ('demo', 2, 4000000)
+    """
+    graph_name = name
+    size = default_size
+    edges: List[Tuple[int, int, Optional[str], Optional[int]]] = []
+
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            edge = parse_edge_line(line)
+        except SchemeParseError as exc:
+            raise SchemeParseError(str(exc), line=lineno) from None
+        if edge is not None:
+            edges.append(edge)
+            continue
+        directive = _DIRECTIVE_RE.match(line)
+        if directive is None:
+            raise SchemeParseError(f"cannot parse line {line!r}", line=lineno)
+        key = directive.group("key").lower()
+        value = directive.group("value")
+        if key in ("scheme", "name"):
+            graph_name = value
+        elif key == "size":
+            try:
+                size = parse_size(value)
+            except ValueError as exc:
+                raise SchemeParseError(str(exc), line=lineno) from None
+
+    graph = CommunicationGraph(name=graph_name)
+    for src, dst, comm_name, comm_size in edges:
+        graph.add_edge(src, dst, size=comm_size if comm_size is not None else size,
+                       name=comm_name)
+    return graph
+
+
+def format_scheme(graph: CommunicationGraph, include_sizes: bool = True) -> str:
+    """Serialise a graph back into the description language."""
+    lines: List[str] = []
+    if graph.name:
+        lines.append(f"scheme {graph.name}")
+    sizes = {comm.size for comm in graph}
+    default_size: Optional[int] = None
+    if len(sizes) == 1 and include_sizes:
+        default_size = next(iter(sizes))
+        lines.append(f"size {default_size}")
+    for comm in graph:
+        line = f"{comm.src} -> {comm.dst} : {comm.name}"
+        if include_sizes and default_size is None:
+            line += f" {comm.size}"
+        lines.append(line)
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,483 @@
+"""Execution engine.
+
+The engine executes an application (one event stream per MPI task placed on
+cluster nodes) above a fluid transfer layer whose instantaneous rates come
+from a pluggable *rate provider* — either a contention model (prediction) or
+the calibrated cluster emulator (measurement).  It implements the MPI timing
+semantics the paper relies on:
+
+* blocking sends measured at the source, "starting before the MPI send and
+  ending when the MPI send method terminates";
+* an eager protocol for small messages and a rendezvous protocol for large
+  ones (a rendezvous send cannot transfer data before the matching receive is
+  posted);
+* ``MPI_ANY_SOURCE`` receives;
+* global synchronisation barriers;
+* compute events expressed either in seconds or in floating point operations.
+
+The engine is a fluid discrete-event simulation: time only advances to the
+next compute completion, transfer completion or transfer readiness, and the
+rates of all in-flight transfers are recomputed whenever that set changes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..cluster.placement import Placement
+from ..exceptions import DeadlockError, SimulationError, TraceError
+from ..network.fluid import Transfer
+from ..network.technologies import NetworkTechnology, get_technology
+from ..units import KiB
+from .application import Application
+from .events import ANY_SOURCE, BarrierEvent, ComputeEvent, Event, RecvEvent, SendEvent
+from .report import EventRecord, SimulationReport
+
+__all__ = ["EngineConfig", "ExecutionEngine"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Tunable knobs of the execution engine."""
+
+    #: messages up to this size use the eager protocol (bytes)
+    eager_threshold: int = 64 * KiB
+    #: fraction of peak FLOP/s actually achieved by compute events given in flops
+    compute_efficiency: float = 0.80
+    #: peak FLOP/s per core used when the placement has no cluster attached
+    default_flops_per_core: float = 4.0e9
+    #: hard cap on engine iterations per simulated event (safety net)
+    iteration_factor: int = 50
+
+    def __post_init__(self) -> None:
+        if self.eager_threshold < 0:
+            raise SimulationError("eager_threshold must be non-negative")
+        if not (0 < self.compute_efficiency <= 1):
+            raise SimulationError("compute_efficiency must be in (0, 1]")
+        if self.default_flops_per_core <= 0:
+            raise SimulationError("default_flops_per_core must be positive")
+
+
+class _Status(Enum):
+    READY = "ready"
+    COMPUTING = "computing"
+    SENDING = "sending"
+    RECEIVING = "receiving"
+    BARRIER = "barrier"
+    DONE = "done"
+
+
+@dataclass
+class _TaskState:
+    rank: int
+    program: Iterator
+    status: _Status = _Status.READY
+    resume_value: object = None
+    #: end time of the current compute event
+    compute_until: float = 0.0
+    #: record fields of the event currently being executed
+    current_start: float = 0.0
+    current_event: Optional[Event] = None
+    event_index: int = 0
+    finish_time: float = 0.0
+
+
+@dataclass
+class _SendRequest:
+    rank: int
+    dst: int
+    tag: int
+    size: int
+    posted: float
+    label: str = ""
+    transfer_id: Optional[int] = None
+
+
+@dataclass
+class _RecvRequest:
+    rank: int
+    src: int
+    tag: int
+    posted: float
+    label: str = ""
+
+
+@dataclass
+class _InFlight:
+    transfer: Transfer
+    remaining: float
+    ready_time: float
+    send: _SendRequest
+    recv: Optional[_RecvRequest] = None
+
+
+class ExecutionEngine:
+    """Executes task programs over a fluid transfer layer."""
+
+    EPSILON = 1e-12
+
+    def __init__(
+        self,
+        programs: Union[Application, Sequence[Iterator], Sequence[Iterable]],
+        placement: Placement,
+        rate_provider,
+        technology: NetworkTechnology | str,
+        config: EngineConfig | None = None,
+        application_name: str = "",
+        model_name: str = "",
+    ) -> None:
+        if isinstance(technology, str):
+            technology = get_technology(technology)
+        self.technology = technology
+        self.rate_provider = rate_provider
+        self.config = config or EngineConfig()
+        self.placement = placement
+
+        if isinstance(programs, Application):
+            application_name = application_name or programs.name
+            iterators: List[Iterator] = [iter(list(trace.events)) for trace in programs]
+            self._num_events_hint = sum(len(trace) for trace in programs)
+        else:
+            iterators = [iter(p) for p in programs]
+            self._num_events_hint = 100 * max(1, len(iterators))
+        if len(iterators) != placement.num_tasks:
+            raise SimulationError(
+                f"{len(iterators)} task programs but the placement has "
+                f"{placement.num_tasks} tasks"
+            )
+        self.num_tasks = len(iterators)
+        self.tasks = [_TaskState(rank=r, program=it) for r, it in enumerate(iterators)]
+
+        self.application_name = application_name
+        self.model_name = model_name
+
+        # runtime state
+        self.now = 0.0
+        self._transfer_counter = itertools.count()
+        self.in_flight: Dict[int, _InFlight] = {}
+        self.pending_sends: List[_SendRequest] = []     # rendezvous sends waiting for a recv
+        self.pending_recvs: List[_RecvRequest] = []     # posted recvs waiting for a send
+        self.arrived: List[Tuple[_SendRequest, float]] = []  # eager messages waiting for a recv
+        self.barrier_waiting: Dict[int, float] = {}      # rank -> time it reached the barrier
+        self.records: List[EventRecord] = []
+
+    # -------------------------------------------------------------- utilities
+    def _flops_per_core(self) -> float:
+        cluster = self.placement.cluster
+        if cluster is not None:
+            return cluster.node.flops_per_core
+        return self.config.default_flops_per_core
+
+    def _compute_duration(self, event: ComputeEvent) -> float:
+        if event.duration is not None:
+            return float(event.duration)
+        assert event.flops is not None
+        return float(event.flops) / (self._flops_per_core() * self.config.compute_efficiency)
+
+    def _base_transfer_time(self, size: int, intra_node: bool) -> float:
+        if intra_node:
+            return size / self.technology.memory_bandwidth
+        return self.technology.latency + size / self.technology.single_stream_bandwidth
+
+    def _node_of(self, rank: int) -> int:
+        return self.placement.node(rank)
+
+    # -------------------------------------------------------- program control
+    def _advance_program(self, task: _TaskState) -> Optional[Event]:
+        """Pull the next event of a task program, passing back resume values."""
+        try:
+            if task.resume_value is not None and hasattr(task.program, "send"):
+                event = task.program.send(task.resume_value)
+            else:
+                event = next(task.program)
+        except StopIteration:
+            return None
+        finally:
+            task.resume_value = None
+        return event
+
+    def _finish_task(self, task: _TaskState) -> None:
+        task.status = _Status.DONE
+        task.finish_time = self.now
+
+    # ------------------------------------------------------------ event start
+    def _start_event(self, task: _TaskState, event: Event) -> None:
+        task.current_event = event
+        task.current_start = self.now
+        if isinstance(event, ComputeEvent):
+            duration = self._compute_duration(event)
+            task.status = _Status.COMPUTING
+            task.compute_until = self.now + duration
+        elif isinstance(event, SendEvent):
+            if event.dst == task.rank:
+                raise TraceError(f"rank {task.rank} sends to itself")
+            if event.dst >= self.num_tasks:
+                raise TraceError(f"rank {task.rank} sends to unknown rank {event.dst}")
+            task.status = _Status.SENDING
+            self._post_send(task, event)
+        elif isinstance(event, RecvEvent):
+            if event.src == task.rank:
+                raise TraceError(f"rank {task.rank} receives from itself")
+            task.status = _Status.RECEIVING
+            self._post_recv(task, event)
+        elif isinstance(event, BarrierEvent):
+            task.status = _Status.BARRIER
+            self.barrier_waiting[task.rank] = self.now
+            self._maybe_release_barrier()
+        else:  # pragma: no cover - defensive
+            raise TraceError(f"unknown event type {type(event).__name__}")
+
+    # ------------------------------------------------------------- messaging
+    def _matches(self, send: _SendRequest, recv: _RecvRequest) -> bool:
+        if send.dst != recv.rank or send.tag != recv.tag:
+            return False
+        return recv.src == ANY_SOURCE or recv.src == send.rank
+
+    def _start_transfer(self, send: _SendRequest, recv: Optional[_RecvRequest]) -> None:
+        src_node = self._node_of(send.rank)
+        dst_node = self._node_of(send.dst)
+        size = send.size + self.technology.mpi_envelope
+        tid = next(self._transfer_counter)
+        send.transfer_id = tid
+        transfer = Transfer(transfer_id=tid, src=src_node, dst=dst_node,
+                            size=size, start_time=self.now)
+        latency = 0.0 if src_node == dst_node else self.technology.latency
+        self.in_flight[tid] = _InFlight(
+            transfer=transfer,
+            remaining=float(size),
+            ready_time=self.now + latency,
+            send=send,
+            recv=recv,
+        )
+
+    def _post_send(self, task: _TaskState, event: SendEvent) -> None:
+        request = _SendRequest(
+            rank=task.rank, dst=event.dst, tag=event.tag,
+            size=event.size, posted=self.now, label=event.label,
+        )
+        eager = event.size <= self.config.eager_threshold
+        if eager:
+            # eager: data leaves immediately whether or not the recv is posted
+            recv = self._pop_matching_recv(request)
+            self._start_transfer(request, recv)
+            return
+        recv = self._pop_matching_recv(request)
+        if recv is not None:
+            self._start_transfer(request, recv)
+        else:
+            self.pending_sends.append(request)
+
+    def _pop_matching_recv(self, send: _SendRequest) -> Optional[_RecvRequest]:
+        for index, recv in enumerate(self.pending_recvs):
+            if self._matches(send, recv):
+                return self.pending_recvs.pop(index)
+        return None
+
+    def _post_recv(self, task: _TaskState, event: RecvEvent) -> None:
+        request = _RecvRequest(
+            rank=task.rank,
+            src=event.src,
+            tag=event.tag,
+            posted=self.now,
+            label=event.label,
+        )
+        # 1. a matching eager message already arrived
+        for index, (send, arrival) in enumerate(self.arrived):
+            if self._matches(send, request):
+                self.arrived.pop(index)
+                self._complete_recv(task, request, send, completion=self.now)
+                return
+        # 2. a matching transfer is already in flight without an attached recv
+        candidates = [
+            flight for flight in self.in_flight.values()
+            if flight.recv is None and self._matches(flight.send, request)
+        ]
+        if candidates:
+            flight = min(candidates, key=lambda f: f.send.posted)
+            flight.recv = request
+            return
+        # 3. a matching rendezvous send is waiting: start the transfer now
+        for index, send in enumerate(self.pending_sends):
+            if self._matches(send, request):
+                self.pending_sends.pop(index)
+                self._start_transfer(send, request)
+                return
+        # 4. nothing yet: wait
+        self.pending_recvs.append(request)
+
+    # ----------------------------------------------------------- completions
+    def _record(self, rank: int, kind: str, start: float, end: float, size: int = 0,
+                peer: Optional[int] = None, label: str = "",
+                penalty: Optional[float] = None) -> None:
+        task = self.tasks[rank]
+        self.records.append(EventRecord(
+            rank=rank, index=task.event_index, kind=kind, start=start, end=end,
+            size=size, peer=peer, label=label, penalty=penalty,
+        ))
+        task.event_index += 1
+
+    def _complete_send(self, send: _SendRequest, completion: float) -> None:
+        task = self.tasks[send.rank]
+        intra = self._node_of(send.rank) == self._node_of(send.dst)
+        base = self._base_transfer_time(send.size + self.technology.mpi_envelope, intra)
+        duration = completion - send.posted
+        penalty = duration / base if base > 0 else 1.0
+        self._record(send.rank, "send", send.posted, completion, size=send.size,
+                     peer=send.dst, label=send.label, penalty=max(penalty, 0.0))
+        task.status = _Status.READY
+        task.resume_value = {"kind": "send", "dst": send.dst, "duration": duration}
+
+    def _complete_recv(self, task: _TaskState, recv: _RecvRequest, send: _SendRequest,
+                       completion: float) -> None:
+        self._record(recv.rank, "recv", recv.posted, completion, size=send.size,
+                     peer=send.rank, label=recv.label)
+        task.status = _Status.READY
+        task.resume_value = {"kind": "recv", "source": send.rank, "size": send.size,
+                             "duration": completion - recv.posted}
+
+    def _complete_transfer(self, tid: int) -> None:
+        flight = self.in_flight.pop(tid)
+        self._complete_send(flight.send, self.now)
+        if flight.recv is not None:
+            receiver = self.tasks[flight.recv.rank]
+            self._complete_recv(receiver, flight.recv, flight.send, self.now)
+        else:
+            self.arrived.append((flight.send, self.now))
+
+    def _maybe_release_barrier(self) -> None:
+        alive = [t for t in self.tasks if t.status is not _Status.DONE]
+        if alive and all(t.status is _Status.BARRIER for t in alive):
+            for task in alive:
+                start = self.barrier_waiting.pop(task.rank)
+                label = ""
+                if isinstance(task.current_event, BarrierEvent):
+                    label = task.current_event.label
+                self._record(task.rank, "barrier", start, self.now, label=label)
+                task.status = _Status.READY
+                task.resume_value = {"kind": "barrier"}
+
+    # ------------------------------------------------------------------- run
+    def _process_ready_tasks(self) -> bool:
+        """Advance every READY task until all are blocked; True if anything ran."""
+        progressed = False
+        made_progress = True
+        while made_progress:
+            made_progress = False
+            for task in self.tasks:
+                if task.status is not _Status.READY:
+                    continue
+                event = self._advance_program(task)
+                if event is None:
+                    self._finish_task(task)
+                    self._maybe_release_barrier()
+                else:
+                    self._start_event(task, event)
+                progressed = True
+                made_progress = True
+        return progressed
+
+    def _progressing_transfers(self) -> List[Transfer]:
+        return [
+            flight.transfer for flight in self.in_flight.values()
+            if flight.ready_time <= self.now + self.EPSILON
+        ]
+
+    def run(self) -> SimulationReport:
+        """Execute the application to completion and return the report."""
+        max_iterations = self.config.iteration_factor * (self._num_events_hint + self.num_tasks) + 100
+        iterations = 0
+
+        while True:
+            iterations += 1
+            if iterations > max_iterations:
+                raise SimulationError("execution engine exceeded its iteration budget")
+
+            self._process_ready_tasks()
+
+            if all(task.status is _Status.DONE for task in self.tasks):
+                break
+
+            # candidate times of the next state change
+            candidates: List[float] = []
+            for task in self.tasks:
+                if task.status is _Status.COMPUTING:
+                    candidates.append(task.compute_until)
+            for flight in self.in_flight.values():
+                if flight.ready_time > self.now + self.EPSILON:
+                    candidates.append(flight.ready_time)
+
+            progressing = self._progressing_transfers()
+            rates: Dict[Hashable, float] = {}
+            if progressing:
+                rates = dict(self.rate_provider.rates(progressing))
+                for transfer in progressing:
+                    rate = rates.get(transfer.transfer_id, 0.0)
+                    if rate < 0:
+                        raise SimulationError(
+                            f"negative rate for transfer {transfer.transfer_id!r}"
+                        )
+                    if rate > 0:
+                        flight = self.in_flight[transfer.transfer_id]
+                        candidates.append(self.now + flight.remaining / rate)
+
+            if not candidates:
+                blocked = [
+                    (task.rank, task.status.value) for task in self.tasks
+                    if task.status is not _Status.DONE
+                ]
+                raise DeadlockError(
+                    f"no task can make progress at t={self.now:.6f}s; "
+                    f"blocked tasks: {blocked}",
+                    blocked_tasks=[rank for rank, _ in blocked],
+                )
+
+            horizon = min(candidates)
+            horizon = max(horizon, self.now)
+            dt = horizon - self.now
+
+            # advance in-flight transfers
+            for transfer in progressing:
+                flight = self.in_flight[transfer.transfer_id]
+                flight.remaining -= rates.get(transfer.transfer_id, 0.0) * dt
+            self.now = horizon
+
+            # complete computes
+            for task in self.tasks:
+                if task.status is _Status.COMPUTING and task.compute_until <= self.now + self.EPSILON:
+                    event = task.current_event
+                    label = event.label if isinstance(event, ComputeEvent) else ""
+                    self._record(task.rank, "compute", task.current_start, self.now, label=label)
+                    task.status = _Status.READY
+                    task.resume_value = {"kind": "compute"}
+
+            # complete transfers.  A transfer is finished when its remaining
+            # byte count is negligible, or when the time still needed at its
+            # current rate is below the floating point resolution of the
+            # simulation clock (otherwise the main loop could spin on a
+            # zero-length time step without ever advancing `now`).
+            clock_resolution = max(abs(self.now), 1.0) * 1e-12
+            finished = []
+            for tid, flight in self.in_flight.items():
+                if flight.ready_time > self.now + self.EPSILON:
+                    continue
+                rate = rates.get(tid, 0.0)
+                negligible_bytes = flight.remaining <= max(self.EPSILON, 1e-6)
+                negligible_time = rate > 0 and flight.remaining / rate <= clock_resolution
+                if negligible_bytes or negligible_time:
+                    finished.append(tid)
+            for tid in sorted(finished):
+                self._complete_transfer(tid)
+
+        report = SimulationReport(
+            application_name=self.application_name,
+            model_name=self.model_name,
+            placement_policy=self.placement.policy,
+            num_tasks=self.num_tasks,
+            records=self.records,
+            finish_time_per_task={task.rank: task.finish_time for task in self.tasks},
+        )
+        return report

@@ -1,0 +1,76 @@
+"""Rate providers for the execution engine.
+
+The execution engine (:mod:`repro.simulator.engine`) advances in-flight
+transfers using instantaneous rates supplied by a *rate provider*.  Two
+providers exist:
+
+* :class:`ModelRateProvider` — the **predicted** side: it builds the
+  node-level communication graph of the transfers currently in flight,
+  queries a contention model (§V) for their penalties and converts each
+  penalty into a rate (``single_stream_bandwidth / penalty``).  Intra-node
+  transfers use the memory path.
+* :class:`~repro.network.allocator.EmulatorRateProvider` — the **measured**
+  side (calibrated fluid emulator), re-exported here for symmetry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Sequence
+
+from ..core.graph import CommunicationGraph
+from ..core.penalty import ContentionModel
+from ..network.allocator import EmulatorRateProvider
+from ..network.fluid import Transfer
+from ..network.technologies import NetworkTechnology, get_technology
+
+__all__ = ["ModelRateProvider", "EmulatorRateProvider"]
+
+
+class ModelRateProvider:
+    """Turn a contention model into an instantaneous rate allocator."""
+
+    def __init__(
+        self,
+        model: ContentionModel,
+        technology: NetworkTechnology | str,
+    ) -> None:
+        if isinstance(technology, str):
+            technology = get_technology(technology)
+        self.model = model
+        self.technology = technology
+
+    def _graph_from_transfers(self, active: Sequence[Transfer]) -> CommunicationGraph:
+        graph = CommunicationGraph(name="in-flight")
+        for transfer in active:
+            graph.add_edge(
+                transfer.src,
+                transfer.dst,
+                size=int(transfer.size),
+                name=str(transfer.transfer_id),
+            )
+        return graph
+
+    def rates(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
+        """Rate (bytes/s) of every active transfer according to the model."""
+        if not active:
+            return {}
+        graph = self._graph_from_transfers(active)
+        penalties = self.model.penalties(graph)
+        single = self.technology.single_stream_bandwidth
+        memory = self.technology.memory_bandwidth
+        rates: Dict[Hashable, float] = {}
+        for transfer in active:
+            penalty = max(1.0, penalties[str(transfer.transfer_id)])
+            if transfer.is_intra_node:
+                rates[transfer.transfer_id] = memory / penalty
+            else:
+                rates[transfer.transfer_id] = single / penalty
+        return rates
+
+    def instantaneous_penalties(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
+        """Model penalties of the in-flight transfers (diagnostic helper)."""
+        if not active:
+            return {}
+        graph = self._graph_from_transfers(active)
+        penalties = self.model.penalties(graph)
+        return {t.transfer_id: penalties[str(t.transfer_id)] for t in active}

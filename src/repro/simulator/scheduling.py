@@ -1,0 +1,33 @@
+"""Task scheduling policies (thin facade over :mod:`repro.cluster.placement`).
+
+The paper names its placement policies RRN, RRP and Random (§VI.D); they are
+implemented in the cluster subpackage and re-exported here so that the
+simulator-facing code can import everything scheduling-related from one
+place.
+"""
+
+from __future__ import annotations
+
+from ..cluster.placement import (
+    PLACEMENT_POLICIES,
+    Placement,
+    make_placement,
+    random_placement,
+    round_robin_per_node,
+    round_robin_per_processor,
+    user_defined_placement,
+)
+
+__all__ = [
+    "Placement",
+    "round_robin_per_node",
+    "round_robin_per_processor",
+    "random_placement",
+    "user_defined_placement",
+    "make_placement",
+    "PLACEMENT_POLICIES",
+    "PAPER_POLICIES",
+]
+
+#: the three policies evaluated in §VI.D of the paper
+PAPER_POLICIES = ("RRN", "RRP", "random")

@@ -1,0 +1,158 @@
+"""High-level simulator facade (§VI.A of the paper).
+
+:class:`Simulator` bundles the four inputs of the paper's simulator —
+application, cluster definition, task placement and model — and runs the
+execution engine in either of two modes:
+
+* **predictive** (:meth:`Simulator.predictive`): in-flight transfers progress
+  at the rate dictated by a contention model (Gigabit Ethernet model, Myrinet
+  model, InfiniBand extension, or a baseline);
+* **emulated** (:meth:`Simulator.emulated`): transfers progress at the rate
+  of the calibrated cluster emulator — this is the reproduction's stand-in
+  for running the application on the real cluster and produces the
+  "measured" times of Figures 7, 8 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+from ..cluster.placement import Placement, make_placement
+from ..cluster.spec import ClusterSpec, custom_cluster, get_cluster
+from ..core.penalty import ContentionModel
+from ..core.registry import model_for_network
+from ..exceptions import SimulationError
+from ..network.allocator import EmulatorRateProvider
+from ..network.technologies import NetworkTechnology, get_technology
+from ..network.topology import CrossbarTopology
+from .application import Application
+from .engine import EngineConfig, ExecutionEngine
+from .providers import ModelRateProvider
+from .report import SimulationReport
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """Runs an application on a cluster under a rate provider."""
+
+    def __init__(
+        self,
+        cluster: ClusterSpec | str,
+        rate_provider,
+        technology: Optional[NetworkTechnology] = None,
+        config: EngineConfig | None = None,
+        mode: str = "custom",
+        model_name: str = "custom",
+    ) -> None:
+        if isinstance(cluster, str):
+            cluster = get_cluster(cluster)
+        self.cluster = cluster
+        self.technology = technology or cluster.technology
+        self.rate_provider = rate_provider
+        self.config = config or EngineConfig()
+        self.mode = mode
+        self.model_name = model_name
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def predictive(
+        cls,
+        cluster: ClusterSpec | str,
+        model: ContentionModel | str | None = None,
+        config: EngineConfig | None = None,
+    ) -> "Simulator":
+        """Simulator driven by a contention model (the paper's predictor).
+
+        When ``model`` is omitted, the model matching the cluster's
+        interconnect is used (Ethernet model on the GigE cluster, Myrinet
+        model on the Myrinet cluster, InfiniBand extension on the IB one).
+        """
+        if isinstance(cluster, str):
+            cluster = get_cluster(cluster)
+        if model is None:
+            model = model_for_network(cluster.technology.name)
+        elif isinstance(model, str):
+            model = model_for_network(model)
+        provider = ModelRateProvider(model, cluster.technology)
+        return cls(cluster, provider, technology=cluster.technology, config=config,
+                   mode="predictive", model_name=model.name)
+
+    @classmethod
+    def emulated(
+        cls,
+        cluster: ClusterSpec | str,
+        config: EngineConfig | None = None,
+    ) -> "Simulator":
+        """Simulator driven by the calibrated cluster emulator ("measured" side)."""
+        if isinstance(cluster, str):
+            cluster = get_cluster(cluster)
+        topology = CrossbarTopology(num_hosts=cluster.num_nodes, technology=cluster.technology)
+        provider = EmulatorRateProvider(cluster.technology, topology)
+        return cls(cluster, provider, technology=cluster.technology, config=config,
+                   mode="emulated", model_name=f"emulator[{cluster.technology.name}]")
+
+    # ------------------------------------------------------------------- runs
+    def _resolve_placement(
+        self, application: Application, placement: Placement | str, seed: int = 0
+    ) -> Placement:
+        if isinstance(placement, Placement):
+            if placement.num_tasks != application.num_tasks:
+                raise SimulationError(
+                    f"placement has {placement.num_tasks} tasks but the application "
+                    f"has {application.num_tasks}"
+                )
+            return placement
+        return make_placement(placement, self.cluster, application.num_tasks, seed=seed)
+
+    def run(
+        self,
+        application: Application,
+        placement: Placement | str = "RRP",
+        seed: int = 0,
+        validate: bool = True,
+    ) -> SimulationReport:
+        """Simulate ``application`` and return the per-task / per-event report.
+
+        ``placement`` is either a prebuilt :class:`Placement` or a policy name
+        (``"RRN"``, ``"RRP"``, ``"random"``).
+        """
+        if validate:
+            application.validate()
+        resolved = self._resolve_placement(application, placement, seed=seed)
+        engine = ExecutionEngine(
+            programs=application,
+            placement=resolved,
+            rate_provider=self.rate_provider,
+            technology=self.technology,
+            config=self.config,
+            application_name=application.name,
+            model_name=self.model_name,
+        )
+        return engine.run()
+
+    def run_programs(
+        self,
+        programs: Sequence,
+        placement: Placement | str = "RRP",
+        num_tasks: Optional[int] = None,
+        seed: int = 0,
+        name: str = "mpi-program",
+    ) -> SimulationReport:
+        """Run generator-based rank programs (see :mod:`repro.mpi.runtime`)."""
+        count = num_tasks if num_tasks is not None else len(programs)
+        if isinstance(placement, Placement):
+            resolved = placement
+        else:
+            resolved = make_placement(placement, self.cluster, count, seed=seed)
+        engine = ExecutionEngine(
+            programs=programs,
+            placement=resolved,
+            rate_provider=self.rate_provider,
+            technology=self.technology,
+            config=self.config,
+            application_name=name,
+            model_name=self.model_name,
+        )
+        return engine.run()

@@ -1,0 +1,125 @@
+"""Unit helpers used across the library.
+
+The library internally works in **bytes**, **seconds** and **bytes per
+second**.  These helpers exist so that user-facing code (examples, the scheme
+description language, cluster specs) can express quantities in the units the
+paper uses (MB messages, Gbit/s links, GHz processors, GFLOPS) without
+scattering magic constants.
+
+The paper's message sizes (20 MB reference messages, 4 MB calibration
+messages) are decimal megabytes, matching MPI benchmark conventions of the
+time, so ``MB`` is :math:`10^6` bytes here.  Binary units are provided with
+the ``i`` suffix (``KiB``, ``MiB``, ``GiB``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "KB", "MB", "GB", "KiB", "MiB", "GiB",
+    "KBIT", "MBIT", "GBIT",
+    "bytes_per_second_from_gbits", "bytes_per_second_from_mbits",
+    "parse_size", "format_size", "format_time", "format_rate",
+    "USEC", "MSEC",
+]
+
+# Decimal byte units.
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+# Binary byte units.
+KiB = 1 << 10
+MiB = 1 << 20
+GiB = 1 << 30
+
+# Bit units expressed in bytes (for link speeds).
+KBIT = 1_000 / 8.0
+MBIT = 1_000_000 / 8.0
+GBIT = 1_000_000_000 / 8.0
+
+# Time units in seconds.
+USEC = 1e-6
+MSEC = 1e-3
+
+_SUFFIXES = {
+    "": 1,
+    "b": 1,
+    "k": KB, "kb": KB,
+    "m": MB, "mb": MB,
+    "g": GB, "gb": GB,
+    "ki": KiB, "kib": KiB,
+    "mi": MiB, "mib": MiB,
+    "gi": GiB, "gib": GiB,
+}
+
+
+def bytes_per_second_from_gbits(gbits: float) -> float:
+    """Convert a link speed in Gbit/s to bytes per second."""
+    return gbits * GBIT
+
+
+def bytes_per_second_from_mbits(mbits: float) -> float:
+    """Convert a link speed in Mbit/s to bytes per second."""
+    return mbits * MBIT
+
+
+def parse_size(text: str | int | float) -> int:
+    """Parse a human-readable message size into bytes.
+
+    Accepts plain integers, floats, or strings such as ``"20M"``, ``"4MB"``,
+    ``"512k"``, ``"1GiB"``.  Raises :class:`ValueError` for malformed input or
+    negative sizes.
+
+    >>> parse_size("20M")
+    20000000
+    >>> parse_size("4MB")
+    4000000
+    >>> parse_size(1024)
+    1024
+    """
+    if isinstance(text, (int, float)):
+        value = float(text)
+        suffix = ""
+    else:
+        s = str(text).strip().lower()
+        idx = len(s)
+        while idx > 0 and not (s[idx - 1].isdigit() or s[idx - 1] == "."):
+            idx -= 1
+        number, suffix = s[:idx], s[idx:].strip()
+        if not number:
+            raise ValueError(f"size {text!r} has no numeric part")
+        try:
+            value = float(number)
+        except ValueError as exc:  # pragma: no cover - defensive
+            raise ValueError(f"cannot parse size {text!r}") from exc
+    if suffix not in _SUFFIXES:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    if value < 0:
+        raise ValueError(f"size must be non-negative, got {text!r}")
+    return int(round(value * _SUFFIXES[suffix]))
+
+
+def format_size(num_bytes: float) -> str:
+    """Format a byte count using the largest convenient decimal unit."""
+    num_bytes = float(num_bytes)
+    for unit, name in ((GB, "GB"), (MB, "MB"), (KB, "kB")):
+        if abs(num_bytes) >= unit:
+            return f"{num_bytes / unit:.3g} {name}"
+    return f"{num_bytes:.0f} B"
+
+
+def format_time(seconds: float) -> str:
+    """Format a duration with an adapted unit (s, ms, µs)."""
+    seconds = float(seconds)
+    if abs(seconds) >= 1.0:
+        return f"{seconds:.3f} s"
+    if abs(seconds) >= MSEC:
+        return f"{seconds / MSEC:.3f} ms"
+    return f"{seconds / USEC:.1f} us"
+
+
+def format_rate(bytes_per_second: float) -> str:
+    """Format a bandwidth in MB/s or GB/s."""
+    if abs(bytes_per_second) >= GB:
+        return f"{bytes_per_second / GB:.3f} GB/s"
+    return f"{bytes_per_second / MB:.1f} MB/s"

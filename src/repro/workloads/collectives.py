@@ -1,0 +1,108 @@
+"""Collective communication patterns expressed as point-to-point event traces.
+
+The paper's models work on point-to-point communication graphs; collectives
+stress them because their implementation (binomial trees, rings) creates
+exactly the outgoing / incoming conflicts of §IV.A when several tasks share a
+node.  These builders append standard collective algorithms to an
+:class:`~repro.simulator.application.Application` so that examples and
+ablation benchmarks can study them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..exceptions import WorkloadError
+from ..simulator.application import Application
+
+__all__ = [
+    "binomial_broadcast",
+    "ring_allgather",
+    "flat_gather",
+    "pairwise_exchange_alltoall",
+    "broadcast_application",
+]
+
+
+def binomial_broadcast(app: Application, root: int, size: int, tag: int = 0) -> Application:
+    """Binomial-tree broadcast of ``size`` bytes from ``root`` (MPICH's algorithm)."""
+    p = app.num_tasks
+    if not (0 <= root < p):
+        raise WorkloadError(f"root {root} outside application of {p} tasks")
+    # relative ranks: vrank = (rank - root) mod p; vrank 0 is the root
+    mask = 1
+    while mask < p:
+        for vrank in range(p):
+            rank = (vrank + root) % p
+            if vrank < mask and vrank + mask < p:
+                dst = (vrank + mask + root) % p
+                app.add_send(rank, dst, size, tag=tag, label=f"bcast[{mask}]")
+                app.add_recv(dst, rank, size, tag=tag, label=f"bcast[{mask}]")
+        mask <<= 1
+    return app
+
+
+def ring_allgather(app: Application, size: int, tag: int = 100) -> Application:
+    """Ring allgather: P-1 steps, each task sends its current block to rank+1."""
+    p = app.num_tasks
+    if p < 2:
+        return app
+    for step in range(p - 1):
+        for rank in range(p):
+            dst = (rank + 1) % p
+            src = (rank - 1) % p
+            step_tag = tag + step
+            if rank % 2 == 0:
+                app.add_send(rank, dst, size, tag=step_tag, label=f"allgather[{step}]")
+                app.add_recv(rank, src, size, tag=step_tag, label=f"allgather[{step}]")
+            else:
+                app.add_recv(rank, src, size, tag=step_tag, label=f"allgather[{step}]")
+                app.add_send(rank, dst, size, tag=step_tag, label=f"allgather[{step}]")
+    return app
+
+
+def flat_gather(app: Application, root: int, size: int, tag: int = 200) -> Application:
+    """Naive gather: every non-root task sends its block directly to the root.
+
+    This is the worst incoming conflict the models describe (Δi(root) = P-1).
+    """
+    p = app.num_tasks
+    if not (0 <= root < p):
+        raise WorkloadError(f"root {root} outside application of {p} tasks")
+    for rank in range(p):
+        if rank == root:
+            continue
+        app.add_send(rank, root, size, tag=tag, label="gather")
+    for rank in range(p):
+        if rank == root:
+            continue
+        app.add_recv(root, rank, size, tag=tag, label="gather")
+    return app
+
+
+def pairwise_exchange_alltoall(app: Application, size: int, tag: int = 300) -> Application:
+    """Pairwise-exchange all-to-all (P-1 rounds, partner = rank XOR round).
+
+    Requires a power-of-two number of tasks.
+    """
+    p = app.num_tasks
+    if p & (p - 1) != 0:
+        raise WorkloadError(f"pairwise exchange needs a power-of-two task count, got {p}")
+    for round_index in range(1, p):
+        for rank in range(p):
+            partner = rank ^ round_index
+            step_tag = tag + round_index
+            if rank < partner:
+                app.add_send(rank, partner, size, tag=step_tag, label=f"alltoall[{round_index}]")
+                app.add_recv(rank, partner, size, tag=step_tag, label=f"alltoall[{round_index}]")
+            else:
+                app.add_recv(rank, partner, size, tag=step_tag, label=f"alltoall[{round_index}]")
+                app.add_send(rank, partner, size, tag=step_tag, label=f"alltoall[{round_index}]")
+    return app
+
+
+def broadcast_application(num_tasks: int, size: int, root: int = 0,
+                          name: str = "") -> Application:
+    """Convenience: a fresh application containing a single binomial broadcast."""
+    app = Application(num_tasks=num_tasks, name=name or f"bcast-{num_tasks}")
+    return binomial_broadcast(app, root=root, size=size)

@@ -1,0 +1,125 @@
+"""HPL / Linpack workload generator (§VI.D of the paper).
+
+The paper evaluates its models on Linpack (HPL) with a problem size of
+20500, tracing the application with the MPE library and replaying the trace
+in the simulator.  The communication scheme it describes is the
+*increasing-ring* panel broadcast: "each task n send[s a] message to the task
+n + 1".
+
+We cannot run the real HPL + MPE, so this module generates the equivalent
+event trace from the algorithm itself: a right-looking LU factorisation with
+a 1-D block-cyclic column distribution,
+
+* per panel ``k`` (``K = ceil(N / NB)`` panels): the owner task factorises
+  the panel (``(N - k·NB)·NB²`` floating point operations), then the panel
+  (``(N - k·NB)·NB`` doubles) travels around the ring — every task forwards
+  it to its successor, which is exactly the paper's scheme;
+* every task then updates its share of the trailing matrix
+  (``2·(N - k·NB)²·NB / P`` flops).
+
+The generated :class:`~repro.simulator.application.Application` has the same
+structure (message count, shrinking message sizes, compute/communication
+interleaving) as the paper's MPE trace, which is what the models consume.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..exceptions import WorkloadError
+from ..simulator.application import Application
+
+__all__ = ["LinpackParameters", "generate_linpack", "hpl_total_flops"]
+
+DOUBLE = 8  # bytes per double precision value
+
+
+@dataclass(frozen=True)
+class LinpackParameters:
+    """Parameters of the generated HPL run."""
+
+    #: order of the dense matrix (the paper uses 20500)
+    problem_size: int = 20500
+    #: blocking factor NB (HPL defaults on those clusters were 100-160)
+    block_size: int = 120
+    #: number of MPI tasks
+    num_tasks: int = 16
+    #: add a global barrier after every panel (off by default, like HPL)
+    barrier_per_panel: bool = False
+    #: fraction of panels to generate (1.0 = the full factorisation); useful to
+    #: truncate the trace for fast tests while keeping the exact structure
+    panel_fraction: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.problem_size < 1:
+            raise WorkloadError(f"problem_size must be >= 1, got {self.problem_size}")
+        if self.block_size < 1:
+            raise WorkloadError(f"block_size must be >= 1, got {self.block_size}")
+        if self.num_tasks < 2:
+            raise WorkloadError(f"the ring broadcast needs >= 2 tasks, got {self.num_tasks}")
+        if not (0 < self.panel_fraction <= 1):
+            raise WorkloadError(f"panel_fraction must be in (0, 1], got {self.panel_fraction}")
+
+    @property
+    def num_panels(self) -> int:
+        total = math.ceil(self.problem_size / self.block_size)
+        return max(1, int(round(total * self.panel_fraction)))
+
+
+def hpl_total_flops(problem_size: int) -> float:
+    """Nominal HPL operation count: 2/3·N³ + 2·N² (the Linpack convention)."""
+    n = float(problem_size)
+    return (2.0 / 3.0) * n ** 3 + 2.0 * n ** 2
+
+
+def _panel_message_bytes(remaining_rows: int, block_size: int) -> int:
+    """Size of the broadcast panel: remaining rows × NB doubles."""
+    return max(DOUBLE, remaining_rows * block_size * DOUBLE)
+
+
+def generate_linpack(params: LinpackParameters | None = None, **kwargs) -> Application:
+    """Generate the HPL event trace as an :class:`Application`.
+
+    Keyword arguments override fields of :class:`LinpackParameters`, e.g.
+    ``generate_linpack(problem_size=20500, num_tasks=16)``.
+    """
+    if params is None:
+        params = LinpackParameters(**kwargs)
+    elif kwargs:
+        raise WorkloadError("pass either a LinpackParameters object or keyword arguments")
+
+    n = params.problem_size
+    nb = params.block_size
+    p = params.num_tasks
+    app = Application(num_tasks=p, name=f"hpl-n{n}-nb{nb}-p{p}")
+
+    for k in range(params.num_panels):
+        remaining = max(nb, n - k * nb)
+        owner = k % p
+        message = _panel_message_bytes(remaining, nb)
+        tag = k
+
+        # 1. panel factorisation on the owner: ~ remaining * NB^2 flops
+        app.add_compute(owner, flops=float(remaining) * nb * nb,
+                        label=f"panel-factor[{k}]")
+
+        # 2. increasing-ring broadcast: owner -> owner+1 -> ... -> owner-1
+        #    (each task n sends the panel to task n+1, the paper's scheme)
+        for hop in range(p - 1):
+            sender = (owner + hop) % p
+            receiver = (owner + hop + 1) % p
+            app.add_send(sender, receiver, message, tag=tag, label=f"panel-bcast[{k}]")
+            app.add_recv(receiver, sender, message, tag=tag, label=f"panel-bcast[{k}]")
+
+        # 3. trailing-matrix update, spread over all tasks:
+        #    2 * remaining^2 * NB flops in total
+        update_flops = 2.0 * float(remaining) * remaining * nb / p
+        for rank in range(p):
+            app.add_compute(rank, flops=update_flops, label=f"update[{k}]")
+
+        if params.barrier_per_panel:
+            app.add_barrier(label=f"panel[{k}]")
+
+    return app

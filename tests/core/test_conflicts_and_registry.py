@@ -1,0 +1,158 @@
+"""Tests for the conflict taxonomy, the penalty abstractions and the model registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    ConflictKind,
+    GigabitEthernetModel,
+    InfinibandModel,
+    LinearCostModel,
+    MyrinetModel,
+    available_models,
+    classify_communication,
+    classify_graph,
+    get_model,
+    model_for_network,
+    register_model,
+)
+from repro.core.graph import CommunicationGraph
+from repro.core.penalty import PenaltyPrediction
+from repro.exceptions import ModelError
+from repro.scheme import figure2_schemes
+from repro.units import MB
+
+
+class TestConflictClassification:
+    def test_single_communication_has_no_conflict(self):
+        graph = CommunicationGraph.from_edges([(0, 1)])
+        conflicts = classify_communication(graph, "a")
+        assert conflicts.kinds == frozenset({ConflictKind.NONE})
+        assert not conflicts.is_conflicted
+
+    def test_outgoing_conflict(self):
+        graph = CommunicationGraph.from_edges([(0, 1), (0, 2)])
+        assert ConflictKind.OUTGOING in classify_communication(graph, "a").kinds
+
+    def test_incoming_conflict(self):
+        graph = CommunicationGraph.from_edges([(1, 0), (2, 0)])
+        assert ConflictKind.INCOMING in classify_communication(graph, "a").kinds
+
+    def test_income_outgo_conflict_at_source(self):
+        graph = figure2_schemes()["S4"]
+        kinds = classify_communication(graph, "a").kinds
+        assert ConflictKind.OUTGOING in kinds
+        assert ConflictKind.INCOME_OUTGO_SOURCE in kinds
+
+    def test_income_outgo_conflict_at_destination(self):
+        graph = figure2_schemes()["S4"]
+        kinds = classify_communication(graph, "d").kinds
+        assert ConflictKind.INCOME_OUTGO_DESTINATION in kinds
+        assert ConflictKind.OUTGOING not in kinds
+
+    def test_report_counts(self):
+        report = classify_graph(figure2_schemes()["S4"])
+        counts = report.kind_counts
+        assert counts[ConflictKind.OUTGOING] == 3
+        assert counts[ConflictKind.NONE] == 0
+        assert report.max_out_degree == 3
+        assert report.max_in_degree == 1
+
+    def test_report_summary_text(self):
+        report = classify_graph(figure2_schemes()["S3"])
+        text = report.summary()
+        assert "outgoing conflicts" in text
+        assert "3" in text
+
+    def test_conflict_free_names(self):
+        graph = CommunicationGraph.from_edges([(0, 1), (2, 3)])
+        report = classify_graph(graph)
+        assert set(report.conflict_free_names) == {"a", "b"}
+        assert report.conflicted_names == ()
+
+
+class TestLinearCostModel:
+    def test_reference_time(self):
+        cost = LinearCostModel(latency=1e-3, bandwidth=100 * MB)
+        assert cost.time(100 * MB) == pytest.approx(1.0 + 1e-3)
+
+    def test_envelope_makes_zero_length_meaningful(self):
+        cost = LinearCostModel(latency=0.0, bandwidth=100 * MB, envelope=64)
+        assert cost.time(0) > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ModelError):
+            LinearCostModel(latency=-1, bandwidth=1)
+        with pytest.raises(ModelError):
+            LinearCostModel(latency=0, bandwidth=0)
+
+    def test_effective_bandwidth_below_nominal(self):
+        cost = LinearCostModel(latency=1e-3, bandwidth=100 * MB)
+        assert cost.effective_bandwidth(1 * MB) < 100 * MB
+
+    def test_negative_size_rejected(self):
+        cost = LinearCostModel(latency=0, bandwidth=1)
+        with pytest.raises(ModelError):
+            cost.time(-5)
+
+
+class TestPenaltyPrediction:
+    def test_accessors(self):
+        prediction = PenaltyPrediction(
+            model_name="m", graph_name="g",
+            penalties={"a": 2.0, "b": 1.0}, times={"a": 0.2, "b": 0.1},
+        )
+        assert prediction.penalty("a") == 2.0
+        assert prediction.time("b") == 0.1
+        assert prediction.mean_penalty == pytest.approx(1.5)
+        assert prediction.max_penalty == 2.0
+
+    def test_missing_key_raises(self):
+        prediction = PenaltyPrediction("m", "g", {"a": 1.0})
+        with pytest.raises(ModelError):
+            prediction.penalty("zzz")
+        with pytest.raises(ModelError):
+            prediction.time("a")
+
+
+class TestRegistry:
+    def test_builtin_models_present(self):
+        names = available_models()
+        for expected in ("ethernet", "myrinet", "infiniband", "no-contention",
+                         "fair-share", "kim-lee"):
+            assert expected in names
+
+    def test_get_model_instantiates(self):
+        assert isinstance(get_model("ethernet"), GigabitEthernetModel)
+        assert isinstance(get_model("myrinet"), MyrinetModel)
+        assert isinstance(get_model("infiniband"), InfinibandModel)
+
+    def test_get_model_unknown(self):
+        with pytest.raises(ModelError):
+            get_model("does-not-exist")
+
+    @pytest.mark.parametrize("alias,expected_type", [
+        ("gige", GigabitEthernetModel),
+        ("Gigabit-Ethernet", GigabitEthernetModel),
+        ("mx", MyrinetModel),
+        ("myrinet-2000", MyrinetModel),
+        ("ib", InfinibandModel),
+        ("infinihost3", InfinibandModel),
+    ])
+    def test_network_aliases(self, alias, expected_type):
+        assert isinstance(model_for_network(alias), expected_type)
+
+    def test_network_alias_unknown(self):
+        with pytest.raises(ModelError):
+            model_for_network("token-ring")
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ModelError):
+            register_model("ethernet", GigabitEthernetModel)
+
+    def test_register_and_overwrite(self):
+        register_model("test-custom-model", GigabitEthernetModel, overwrite=True)
+        assert "test-custom-model" in available_models()
+        register_model("test-custom-model", MyrinetModel, overwrite=True)
+        assert isinstance(get_model("test-custom-model"), MyrinetModel)

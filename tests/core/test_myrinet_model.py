@@ -1,0 +1,185 @@
+"""Tests of the Myrinet state-set model (§V.B) against Figures 5 and 6."""
+
+from __future__ import annotations
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.core import ConflictRule, MyrinetModel
+from repro.core.graph import CommunicationGraph
+from repro.core.myrinet_model import maximal_independent_sets
+from repro.exceptions import ModelError
+from repro.scheme import figure2_schemes, figure5_graph, mk2_complete
+from repro.workloads.synthetic import random_graph_scheme
+
+
+class TestMaximalIndependentSets:
+    def test_empty_graph(self):
+        assert maximal_independent_sets({}) == []
+
+    def test_single_vertex(self):
+        assert maximal_independent_sets({"a": frozenset()}) == [frozenset({"a"})]
+
+    def test_two_connected_vertices(self):
+        adjacency = {"a": frozenset({"b"}), "b": frozenset({"a"})}
+        sets = maximal_independent_sets(adjacency)
+        assert sets == [frozenset({"a"}), frozenset({"b"})]
+
+    def test_two_isolated_vertices(self):
+        adjacency = {"a": frozenset(), "b": frozenset()}
+        assert maximal_independent_sets(adjacency) == [frozenset({"a", "b"})]
+
+    def test_triangle(self):
+        adjacency = {
+            "a": frozenset({"b", "c"}),
+            "b": frozenset({"a", "c"}),
+            "c": frozenset({"a", "b"}),
+        }
+        sets = maximal_independent_sets(adjacency)
+        assert len(sets) == 3
+        assert all(len(s) == 1 for s in sets)
+
+    def test_path_graph(self):
+        # a - b - c : maximal independent sets are {a, c} and {b}
+        adjacency = {
+            "a": frozenset({"b"}),
+            "b": frozenset({"a", "c"}),
+            "c": frozenset({"b"}),
+        }
+        sets = maximal_independent_sets(adjacency)
+        assert frozenset({"a", "c"}) in sets
+        assert frozenset({"b"}) in sets
+        assert len(sets) == 2
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_networkx_complement_cliques(self, seed):
+        """Our Bron-Kerbosch equals maximal cliques of the complement graph."""
+        graph = random_graph_scheme(num_nodes=6, num_communications=8, seed=seed)
+        adjacency = graph.conflict_adjacency()
+        ours = set(maximal_independent_sets(adjacency))
+        nxg = nx.Graph()
+        nxg.add_nodes_from(adjacency)
+        for u, neighbours in adjacency.items():
+            for v in neighbours:
+                nxg.add_edge(u, v)
+        reference = {frozenset(c) for c in nx.find_cliques(nx.complement(nxg))}
+        assert ours == reference
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_every_set_is_independent_and_maximal(self, seed):
+        graph = random_graph_scheme(num_nodes=7, num_communications=10, seed=100 + seed)
+        adjacency = graph.conflict_adjacency()
+        sets = maximal_independent_sets(adjacency)
+        assert sets, "at least one maximal independent set must exist"
+        for candidate in sets:
+            # independence
+            for u, v in itertools.combinations(candidate, 2):
+                assert v not in adjacency[u]
+            # maximality: every vertex outside conflicts with someone inside
+            for outside in set(adjacency) - set(candidate):
+                assert adjacency[outside] & candidate
+
+
+class TestFigure5Example:
+    def test_number_of_state_sets(self, myrinet_model, fig5):
+        assert myrinet_model.analyse(fig5).num_state_sets == 5
+
+    def test_emission_sums_match_figure6(self, myrinet_model, fig5):
+        analysis = myrinet_model.analyse(fig5)
+        assert analysis.emission == {"a": 1, "b": 2, "c": 2, "d": 2, "e": 2, "f": 3}
+
+    def test_per_source_minimum_matches_figure6(self, myrinet_model, fig5):
+        analysis = myrinet_model.analyse(fig5)
+        assert analysis.adjusted_emission == {"a": 1, "b": 1, "c": 1, "d": 2, "e": 2, "f": 2}
+
+    def test_penalties_match_figure6(self, myrinet_model, fig5):
+        analysis = myrinet_model.analyse(fig5)
+        assert analysis.penalties == {
+            "a": 5.0, "b": 5.0, "c": 5.0, "d": 2.5, "e": 2.5, "f": 2.5,
+        }
+
+    def test_table_rendering_contains_the_rows(self, myrinet_model, fig5):
+        text = myrinet_model.analyse(fig5).table()
+        assert "Sum" in text and "Minimum" in text and "penalty" in text
+
+    def test_non_decomposed_analysis_is_equivalent(self, fig5):
+        merged = MyrinetModel(decompose=False).penalties(fig5)
+        decomposed = MyrinetModel(decompose=True).penalties(fig5)
+        assert merged == decomposed
+
+
+class TestFigure2Agreement:
+    @pytest.mark.parametrize("scheme,comm,expected", [
+        ("S1", "a", 1.0),
+        ("S2", "a", 2.0),     # paper measured 1.9
+        ("S3", "a", 3.0),     # paper measured 2.8
+        ("S4", "a", 3.0),     # unchanged by a single reverse stream (paper 2.8)
+        ("S4", "d", 1.0),     # paper measured 1.45
+        ("S5", "a", 3.0),     # paper measured 4.4 (income/outgo underestimated)
+        ("S5", "d", 2.0),     # paper measured 2.5
+    ])
+    def test_ladder_predictions(self, myrinet_model, scheme, comm, expected):
+        graph = figure2_schemes()[scheme]
+        assert myrinet_model.penalties(graph)[comm] == pytest.approx(expected)
+
+
+class TestModelProperties:
+    def test_single_communication(self, myrinet_model):
+        graph = CommunicationGraph.from_edges([(0, 1)])
+        assert myrinet_model.penalties(graph) == {"a": 1.0}
+
+    def test_independent_communications_have_unit_penalty(self, myrinet_model):
+        graph = CommunicationGraph.from_edges([(0, 1), (2, 3), (4, 5)])
+        assert all(p == 1.0 for p in myrinet_model.penalties(graph).values())
+
+    def test_outgoing_fanout_penalty_equals_fanout(self, myrinet_model):
+        for fanout in (2, 3, 4, 5):
+            edges = [(0, i + 1) for i in range(fanout)]
+            graph = CommunicationGraph.from_edges(edges)
+            assert all(
+                p == pytest.approx(float(fanout))
+                for p in myrinet_model.penalties(graph).values()
+            )
+
+    def test_intra_node_communications_ignored(self, myrinet_model):
+        graph = CommunicationGraph()
+        graph.add_edge(0, 0, name="local")
+        graph.add_edge(0, 1, name="x")
+        graph.add_edge(0, 2, name="y")
+        penalties = myrinet_model.penalties(graph)
+        assert penalties["local"] == 1.0
+        assert penalties["x"] == pytest.approx(2.0)
+
+    def test_component_cap_raises(self):
+        model = MyrinetModel(max_component_size=3)
+        graph = mk2_complete()
+        with pytest.raises(ModelError):
+            model.penalties(graph)
+
+    def test_unknown_conflict_rule_rejected(self):
+        with pytest.raises(ModelError):
+            MyrinetModel(conflict_rule="bogus")
+
+    def test_decomposition_equals_global_enumeration_on_disconnected_graph(self):
+        # two independent outgoing conflicts
+        graph = CommunicationGraph.from_edges([(0, 1), (0, 2), (5, 6), (5, 7), (5, 8)])
+        merged = MyrinetModel(decompose=False).penalties(graph)
+        decomposed = MyrinetModel(decompose=True).penalties(graph)
+        assert merged == pytest.approx(decomposed)
+        assert decomposed["a"] == pytest.approx(2.0)
+        assert decomposed["c"] == pytest.approx(3.0)
+
+    def test_details_are_consistent(self, myrinet_model, fig5):
+        details = myrinet_model.details(fig5)
+        for name, info in details.items():
+            assert info["penalty"] >= 1.0
+            assert info["adjusted_emission"] <= info["emission"]
+
+    def test_any_node_rule_is_a_distinct_valid_variant(self, fig5):
+        endpoint = MyrinetModel(conflict_rule=ConflictRule.ENDPOINT).penalties(fig5)
+        any_node = MyrinetModel(conflict_rule=ConflictRule.ANY_NODE).penalties(fig5)
+        assert all(p >= 1.0 for p in any_node.values())
+        # the stricter rule changes the combinatorics on this graph (ablation knob)
+        assert any_node != endpoint

@@ -1,0 +1,166 @@
+"""Integration tests: end-to-end reproduction of the paper's experiments.
+
+These tests run the same pipelines as the benchmark harness, on reduced
+problem sizes, and check the *shape* results the paper reports: which model
+wins, whether it is optimistic or pessimistic, and the rough magnitude of the
+errors.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import compare_reports, compare_times, paper_penalties
+from repro.benchmark import ExperimentRunner, PenaltyTool
+from repro.cluster import custom_cluster
+from repro.core import (
+    GigabitEthernetModel,
+    InfinibandModel,
+    LinearCostModel,
+    MyrinetModel,
+    NoContentionModel,
+)
+from repro.scheme import figure2_schemes, figure4_scheme, mk1_tree, mk2_complete
+from repro.simulator import Simulator
+from repro.workloads import generate_linpack
+from repro.units import MB
+
+
+class TestFigure2Pipeline:
+    """Emulator + models reproduce the Figure 2 ladder ordering."""
+
+    def test_model_predictions_track_the_emulator_on_simple_conflicts(self):
+        # 35 % headroom: the Myrinet model predicts no slowdown for the single
+        # reverse stream of S4 while the measurement (paper and emulator alike)
+        # shows ~1.45 — the known income/outgo weakness discussed in §VI.C.
+        runner = ExperimentRunner(networks=("ethernet", "myrinet", "infiniband"),
+                                  iterations=1, num_hosts=16)
+        for network in ("ethernet", "myrinet", "infiniband"):
+            for scheme_id in ("S2", "S3", "S4"):
+                result = runner.run_scheme(figure2_schemes()[scheme_id], network)
+                for row in result.rows():
+                    assert abs(row["relative_error_percent"]) < 35, (network, scheme_id, row)
+
+    def test_network_ranking_matches_the_paper(self):
+        """GigE shares best (lowest penalty growth), Myrinet worst (Figure 2 analysis)."""
+        tool_e = PenaltyTool("ethernet", iterations=1, num_hosts=8)
+        tool_m = PenaltyTool("myrinet", iterations=1, num_hosts=8)
+        tool_i = PenaltyTool("infiniband", iterations=1, num_hosts=8)
+        graph = figure2_schemes()["S3"]
+        pe = tool_e.measure(graph).mean_penalty
+        pm = tool_m.measure(graph).mean_penalty
+        pi = tool_i.measure(graph).mean_penalty
+        assert pe < pi < pm
+
+    def test_infiniband_remains_fastest_in_absolute_time(self):
+        """'Infiniband will probably stay the faster interconnect whatever the scheme.'"""
+        graph = figure2_schemes()["S5"]
+        times_e = PenaltyTool("ethernet", iterations=1, num_hosts=8).measure(graph).times
+        times_i = PenaltyTool("infiniband", iterations=1, num_hosts=8).measure(graph).times
+        assert max(times_i.values()) < min(times_e.values())
+
+
+class TestFigure4Pipeline:
+    def test_prediction_ordering_matches_the_paper(self):
+        """d is the fastest, a=b, e=f, c among the slowest (Figure 4 table)."""
+        model = GigabitEthernetModel()
+        cost = LinearCostModel(latency=45e-6, bandwidth=93.75e6)
+        times = model.predict_times(figure4_scheme(), cost)
+        assert times["d"] == min(times.values())
+        assert times["a"] == pytest.approx(times["b"])
+        assert times["e"] == pytest.approx(times["f"])
+        assert times["c"] == max(times.values())
+
+    def test_model_vs_emulator_errors_are_moderate(self):
+        tool = PenaltyTool("ethernet", iterations=1, num_hosts=8)
+        graph = figure4_scheme()
+        measured = tool.measure(graph).times
+        cost = LinearCostModel(
+            latency=tool.technology.latency,
+            bandwidth=tool.technology.single_stream_bandwidth,
+            envelope=tool.technology.mpi_envelope,
+        )
+        predicted = GigabitEthernetModel().predict_times(graph, cost)
+        report = compare_times(measured, predicted, graph_name="fig4")
+        assert report.absolute < 25.0
+
+
+class TestFigure7Pipeline:
+    @pytest.mark.parametrize("graph_builder,max_eabs", [(mk1_tree, 30.0), (mk2_complete, 45.0)])
+    def test_myrinet_model_accuracy_on_synthetic_graphs(self, graph_builder, max_eabs):
+        graph = graph_builder()
+        tool = PenaltyTool("myrinet", iterations=1, num_hosts=16)
+        measured = tool.measure(graph).times
+        cost = LinearCostModel(
+            latency=tool.technology.latency,
+            bandwidth=tool.technology.single_stream_bandwidth,
+            envelope=tool.technology.mpi_envelope,
+        )
+        predicted = MyrinetModel().predict_times(graph, cost)
+        report = compare_times(measured, predicted, graph_name=graph.name)
+        assert report.absolute < max_eabs
+
+    def test_tree_is_predicted_better_than_complete_graph(self):
+        """Paper: E_abs(MK1)=2.6 % < E_abs(MK2)=9.5 % — trees are easier."""
+        tool = PenaltyTool("myrinet", iterations=1, num_hosts=16)
+        cost = LinearCostModel(
+            latency=tool.technology.latency,
+            bandwidth=tool.technology.single_stream_bandwidth,
+            envelope=tool.technology.mpi_envelope,
+        )
+        reports = {}
+        for graph in (mk1_tree(), mk2_complete()):
+            measured = tool.measure(graph).times
+            predicted = MyrinetModel().predict_times(graph, cost)
+            reports[graph.name] = compare_times(measured, predicted, graph.name).absolute
+        assert reports["mk1-tree"] <= reports["mk2-complete"]
+
+    def test_contention_models_beat_the_linear_baseline(self):
+        """The whole point of the paper: LogGP-style no-contention models are far off."""
+        graph = mk2_complete()
+        tool = PenaltyTool("myrinet", iterations=1, num_hosts=16)
+        cost = LinearCostModel(
+            latency=tool.technology.latency,
+            bandwidth=tool.technology.single_stream_bandwidth,
+            envelope=tool.technology.mpi_envelope,
+        )
+        measured = tool.measure(graph).times
+        myrinet_eabs = compare_times(measured, MyrinetModel().predict_times(graph, cost)).absolute
+        baseline_eabs = compare_times(measured, NoContentionModel().predict_times(graph, cost)).absolute
+        assert myrinet_eabs < baseline_eabs
+
+
+class TestLinpackPipeline:
+    @pytest.fixture(scope="class")
+    def hpl_setup(self):
+        cluster = custom_cluster(num_nodes=4, cores_per_node=2, technology="myrinet")
+        app = generate_linpack(problem_size=3000, block_size=250, num_tasks=8)
+        return cluster, app
+
+    def test_predicted_vs_emulated_per_task_error(self, hpl_setup):
+        cluster, app = hpl_setup
+        measured = Simulator.emulated(cluster).run(app, placement="RRN")
+        predicted = Simulator.predictive(cluster, model=MyrinetModel()).run(app, placement="RRN")
+        report = compare_reports(measured, predicted)
+        assert report.mean_error < 20.0
+
+    def test_every_task_communicates(self, hpl_setup):
+        cluster, app = hpl_setup
+        report = Simulator.emulated(cluster).run(app, placement="RRN")
+        assert all(report.communication_time(r) > 0 for r in range(app.num_tasks))
+
+    def test_placement_changes_the_total_time(self, hpl_setup):
+        cluster, app = hpl_setup
+        sim = Simulator.emulated(cluster)
+        rrn = sim.run(app, placement="RRN").total_time
+        rrp = sim.run(app, placement="RRP").total_time
+        # RRP keeps ring neighbours on the same node (memory path), so it is
+        # at least as fast as RRN for the ring broadcast
+        assert rrp <= rrn * 1.001
+
+    def test_prediction_is_deterministic(self, hpl_setup):
+        cluster, app = hpl_setup
+        sim = Simulator.predictive(cluster, model=MyrinetModel())
+        a = sim.run(app, placement="RRN").communication_times()
+        b = sim.run(app, placement="RRN").communication_times()
+        assert a == b

@@ -1,0 +1,147 @@
+"""Tests of the max-min sharing solver and of the topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SimulationError, TopologyError
+from repro.network import (
+    CrossbarTopology,
+    FatTreeTopology,
+    FlowSpec,
+    GIGABIT_ETHERNET,
+    MYRINET_2000,
+    build_topology,
+    max_min_allocation,
+)
+from repro.network.topology import ResourceKind
+
+
+class TestMaxMinAllocation:
+    def test_empty(self):
+        assert max_min_allocation([], {}) == {}
+
+    def test_single_flow_takes_the_resource(self):
+        flows = [FlowSpec("a", ("r",))]
+        assert max_min_allocation(flows, {"r": 100.0})["a"] == pytest.approx(100.0)
+
+    def test_equal_split(self):
+        flows = [FlowSpec("a", ("r",)), FlowSpec("b", ("r",))]
+        rates = max_min_allocation(flows, {"r": 100.0})
+        assert rates["a"] == pytest.approx(50.0)
+        assert rates["b"] == pytest.approx(50.0)
+
+    def test_per_flow_cap_frees_bandwidth_for_others(self):
+        flows = [FlowSpec("a", ("r",), cap=10.0), FlowSpec("b", ("r",))]
+        rates = max_min_allocation(flows, {"r": 100.0})
+        assert rates["a"] == pytest.approx(10.0)
+        assert rates["b"] == pytest.approx(90.0)
+
+    def test_bottleneck_propagation(self):
+        """Classic example: one flow crosses two links, each shared with another flow."""
+        flows = [
+            FlowSpec("long", ("l1", "l2")),
+            FlowSpec("s1", ("l1",)),
+            FlowSpec("s2", ("l2",)),
+        ]
+        rates = max_min_allocation(flows, {"l1": 100.0, "l2": 100.0})
+        assert rates["long"] == pytest.approx(50.0)
+        assert rates["s1"] == pytest.approx(50.0)
+        assert rates["s2"] == pytest.approx(50.0)
+
+    def test_weighted_shares(self):
+        flows = [FlowSpec("a", ("r",), weight=2.0), FlowSpec("b", ("r",), weight=1.0)]
+        rates = max_min_allocation(flows, {"r": 90.0})
+        assert rates["a"] == pytest.approx(60.0)
+        assert rates["b"] == pytest.approx(30.0)
+
+    def test_flow_with_no_resources_is_cap_limited(self):
+        flows = [FlowSpec("a", (), cap=42.0)]
+        assert max_min_allocation(flows, {})["a"] == pytest.approx(42.0)
+
+    def test_conservation_per_resource(self):
+        flows = [FlowSpec(f"f{i}", ("r",)) for i in range(7)]
+        rates = max_min_allocation(flows, {"r": 70.0})
+        assert sum(rates.values()) == pytest.approx(70.0)
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(SimulationError):
+            max_min_allocation([FlowSpec("a", ("missing",))], {"r": 1.0})
+
+    def test_duplicate_flow_id_rejected(self):
+        flows = [FlowSpec("a", ("r",)), FlowSpec("a", ("r",))]
+        with pytest.raises(SimulationError):
+            max_min_allocation(flows, {"r": 1.0})
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            max_min_allocation([FlowSpec("a", ("r",))], {"r": -1.0})
+
+    def test_invalid_flow_spec(self):
+        with pytest.raises(SimulationError):
+            FlowSpec("a", ("r",), cap=0.0)
+        with pytest.raises(SimulationError):
+            FlowSpec("a", ("r",), weight=0.0)
+
+    def test_zero_capacity_resource_gives_zero_rate(self):
+        flows = [FlowSpec("a", ("r",))]
+        assert max_min_allocation(flows, {"r": 0.0})["a"] == pytest.approx(0.0)
+
+
+class TestTopologies:
+    def test_crossbar_capacities(self):
+        topo = CrossbarTopology(num_hosts=4, technology=GIGABIT_ETHERNET)
+        caps = topo.capacities()
+        tx, rx = topo.nic_resources(0)
+        assert caps[tx] == pytest.approx(GIGABIT_ETHERNET.link_bandwidth)
+        assert caps[rx] == pytest.approx(GIGABIT_ETHERNET.link_bandwidth)
+        assert caps[topo.memory_resource(0)] == pytest.approx(GIGABIT_ETHERNET.memory_bandwidth)
+
+    def test_crossbar_has_no_fabric_resources(self):
+        topo = CrossbarTopology(num_hosts=4, technology=GIGABIT_ETHERNET)
+        assert topo.fabric_route(0, 3) == ()
+
+    def test_host_range_checked(self):
+        topo = CrossbarTopology(num_hosts=4, technology=GIGABIT_ETHERNET)
+        with pytest.raises(TopologyError):
+            topo.check_host(4)
+        with pytest.raises(TopologyError):
+            topo.nic_resources(-1)
+
+    def test_invalid_host_count(self):
+        with pytest.raises(TopologyError):
+            CrossbarTopology(num_hosts=0, technology=GIGABIT_ETHERNET)
+
+    def test_fat_tree_same_switch_route_is_local(self):
+        topo = FatTreeTopology(num_hosts=16, technology=MYRINET_2000,
+                               hosts_per_edge=4, uplinks_per_edge=4)
+        assert topo.fabric_route(0, 3) == ()
+
+    def test_fat_tree_cross_switch_route(self):
+        topo = FatTreeTopology(num_hosts=16, technology=MYRINET_2000,
+                               hosts_per_edge=4, uplinks_per_edge=2)
+        route = topo.fabric_route(0, 5)
+        assert (ResourceKind.UPLINK, 0) in route
+        assert (ResourceKind.DOWNLINK, 1) in route
+
+    def test_fat_tree_oversubscription_factor(self):
+        topo = FatTreeTopology(num_hosts=16, technology=MYRINET_2000,
+                               hosts_per_edge=8, uplinks_per_edge=2)
+        assert topo.oversubscription == pytest.approx(4.0)
+        caps = topo.capacities()
+        assert caps[(ResourceKind.UPLINK, 0)] == pytest.approx(2 * MYRINET_2000.link_bandwidth)
+
+    def test_fat_tree_edge_switch_count(self):
+        topo = FatTreeTopology(num_hosts=10, technology=MYRINET_2000, hosts_per_edge=4)
+        assert topo.num_edge_switches == 3
+
+    def test_build_topology_factory(self):
+        assert isinstance(build_topology(GIGABIT_ETHERNET, 8, "crossbar"), CrossbarTopology)
+        assert isinstance(build_topology(GIGABIT_ETHERNET, 8, "fat-tree"), FatTreeTopology)
+        with pytest.raises(TopologyError):
+            build_topology(GIGABIT_ETHERNET, 8, "torus")
+
+    def test_describe(self):
+        topo = FatTreeTopology(num_hosts=16, technology=MYRINET_2000,
+                               hosts_per_edge=8, uplinks_per_edge=4)
+        assert "oversubscription" in topo.describe()

@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) on the contention models and core invariants."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import (
+    FairShareModel,
+    GigabitEthernetModel,
+    InfinibandModel,
+    KimLeeModel,
+    MyrinetModel,
+    NoContentionModel,
+)
+from repro.core.graph import CommunicationGraph
+from repro.core.myrinet_model import maximal_independent_sets
+from repro.units import MB
+
+MODELS = [
+    GigabitEthernetModel(),
+    MyrinetModel(),
+    InfinibandModel(),
+    NoContentionModel(),
+    FairShareModel(),
+    KimLeeModel(),
+]
+
+# strategy: a list of distinct directed edges over a small node universe
+edge_strategy = st.lists(
+    st.tuples(st.integers(0, 6), st.integers(0, 6)).filter(lambda e: e[0] != e[1]),
+    min_size=1,
+    max_size=10,
+    unique=True,
+)
+
+common_settings = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+def graph_from_edges(edges):
+    return CommunicationGraph.from_edges(list(edges), size=4 * MB)
+
+
+class TestPenaltyInvariants:
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+    @common_settings
+    @given(edges=edge_strategy)
+    def test_penalties_are_at_least_one_and_finite(self, model, edges):
+        graph = graph_from_edges(edges)
+        penalties = model.penalties(graph)
+        assert set(penalties) == set(graph.names)
+        for value in penalties.values():
+            assert value >= 1.0
+            assert value < 1e6
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+    @common_settings
+    @given(edges=edge_strategy)
+    def test_penalties_do_not_depend_on_message_size(self, model, edges):
+        """The paper's penalties are size-free ratios; only the graph matters."""
+        small = CommunicationGraph.from_edges(list(edges), size=1 * MB)
+        large = CommunicationGraph.from_edges(list(edges), size=16 * MB)
+        assert model.penalties(small) == pytest.approx(model.penalties(large))
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+    @common_settings
+    @given(edges=edge_strategy)
+    def test_isolated_communication_is_never_penalised(self, model, edges):
+        """Adding a communication between two fresh nodes gets penalty 1."""
+        graph = CommunicationGraph.from_edges(list(edges), size=4 * MB)
+        graph.add_edge(50, 51, size=4 * MB, name="isolated")
+        assert model.penalties(graph)["isolated"] == pytest.approx(1.0)
+
+    @common_settings
+    @given(edges=edge_strategy)
+    def test_ethernet_penalty_bounded_by_degree(self, edges):
+        """p = max(po, pi) <= max(Δo, Δi) · β · (1 + γ·Δ) — a loose sanity bound."""
+        graph = graph_from_edges(edges)
+        model = GigabitEthernetModel()
+        params = model.parameters
+        penalties = model.penalties(graph)
+        for comm in graph:
+            delta = max(graph.delta_o(comm), graph.delta_i(comm))
+            bound = max(1.0, delta * params.beta * (1 + max(params.gamma_o, params.gamma_i) * delta))
+            assert penalties[comm.name] <= bound + 1e-9
+
+    @common_settings
+    @given(edges=edge_strategy)
+    def test_myrinet_penalty_bounded_by_state_set_count(self, edges):
+        graph = graph_from_edges(edges)
+        model = MyrinetModel(max_component_size=12)
+        try:
+            analysis = model.analyse(graph)
+        except Exception:
+            return  # component larger than the cap: not the property under test
+        for name, penalty in analysis.penalties.items():
+            assert penalty <= analysis.num_state_sets + 1e-9
+            assert analysis.adjusted_emission[name] >= 1
+
+    @common_settings
+    @given(edges=edge_strategy)
+    def test_myrinet_worst_penalty_covers_the_most_loaded_nic(self, edges):
+        """At the most loaded NIC (degree D), at most one of its D communications
+        can send per state set, so the slowest of them is penalised by at least D —
+        the Stop & Go model can never be globally below ideal fair sharing."""
+        graph = graph_from_edges(edges)
+        myrinet = MyrinetModel(max_component_size=12)
+        try:
+            myrinet_penalties = myrinet.penalties(graph)
+        except Exception:
+            return
+        fair = FairShareModel().penalties(graph)
+        assert max(myrinet_penalties.values()) >= max(fair.values()) - 1e-9
+
+
+class TestMaximalIndependentSetProperties:
+    @common_settings
+    @given(edges=edge_strategy)
+    def test_enumeration_is_complete_and_sound(self, edges):
+        graph = graph_from_edges(edges)
+        adjacency = graph.conflict_adjacency()
+        sets = maximal_independent_sets(adjacency)
+        assert sets
+        seen = set()
+        for candidate in sets:
+            assert candidate not in seen, "no duplicates"
+            seen.add(candidate)
+            for vertex in candidate:
+                assert not (adjacency[vertex] & candidate), "independence"
+            for outside in set(adjacency) - set(candidate):
+                assert adjacency[outside] & candidate, "maximality"
+
+    @common_settings
+    @given(edges=edge_strategy)
+    def test_every_vertex_appears_in_some_set(self, edges):
+        graph = graph_from_edges(edges)
+        adjacency = graph.conflict_adjacency()
+        sets = maximal_independent_sets(adjacency)
+        covered = set().union(*sets) if sets else set()
+        assert covered == set(adjacency)

@@ -1,0 +1,164 @@
+"""Tests of the scheme description language and the paper's scheme library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import SchemeParseError, WorkloadError
+from repro.scheme import (
+    SCHEME_BUILDERS,
+    figure2_schemes,
+    figure4_scheme,
+    figure5_graph,
+    format_scheme,
+    get_scheme,
+    incoming_conflict_scheme,
+    mk1_tree,
+    mk2_complete,
+    outgoing_conflict_scheme,
+    parse_scheme,
+)
+from repro.units import MB
+
+
+class TestLanguage:
+    def test_parse_minimal(self):
+        graph = parse_scheme("0 -> 1\n0 -> 2\n")
+        assert len(graph) == 2
+        assert graph["a"].src == 0 and graph["a"].dst == 1
+
+    def test_parse_with_directives(self):
+        text = """
+        scheme fig2-s2
+        size 20M
+        0 -> 1 : a
+        0 -> 2 : b
+        """
+        graph = parse_scheme(text)
+        assert graph.name == "fig2-s2"
+        assert graph["a"].size == 20 * MB
+        assert set(graph.names) == {"a", "b"}
+
+    def test_parse_per_edge_size(self):
+        graph = parse_scheme("0 -> 1 : x 4MB\n1 -> 2 512k\n")
+        assert graph["x"].size == 4 * MB
+        assert graph.communications[1].size == 512_000
+
+    def test_comments_and_blank_lines_ignored(self):
+        graph = parse_scheme("# a comment\n\n0 -> 1  # trailing comment\n")
+        assert len(graph) == 1
+
+    def test_malformed_edge_rejected(self):
+        with pytest.raises(SchemeParseError):
+            parse_scheme("0 -> \n")
+
+    def test_unknown_line_rejected(self):
+        with pytest.raises(SchemeParseError) as excinfo:
+            parse_scheme("0 -> 1\nnonsense line\n")
+        assert excinfo.value.line == 2
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(SchemeParseError):
+            parse_scheme("size 12parsecs\n0 -> 1\n")
+
+    def test_round_trip(self):
+        original = figure4_scheme()
+        parsed = parse_scheme(format_scheme(original))
+        assert parsed.to_edge_list() == original.to_edge_list()
+        assert parsed.names == original.names
+        assert parsed.name == original.name
+
+    def test_round_trip_mixed_sizes(self):
+        graph = parse_scheme("0 -> 1 : x 4MB\n2 -> 1 : y 20MB\n")
+        again = parse_scheme(format_scheme(graph))
+        assert again.to_edge_list() == graph.to_edge_list()
+
+
+class TestFigure2Schemes:
+    def test_ladder_grows_one_communication_at_a_time(self, fig2):
+        sizes = [len(fig2[f"S{i}"]) for i in range(1, 7)]
+        assert sizes == [1, 2, 3, 4, 5, 6]
+
+    def test_s3_is_a_pure_outgoing_conflict(self, fig2):
+        graph = fig2["S3"]
+        assert graph.out_degree(0) == 3
+        assert all(graph.in_degree(n) == 1 for n in (1, 2, 3))
+
+    def test_s4_adds_an_incoming_communication_to_node_0(self, fig2):
+        graph = fig2["S4"]
+        assert graph.in_degree(0) == 1
+        assert graph["d"].dst == 0
+
+    def test_custom_size_propagates(self):
+        schemes = figure2_schemes(size=4 * MB)
+        assert all(c.size == 4 * MB for c in schemes["S5"])
+
+
+class TestConflictLadders:
+    def test_outgoing_scheme(self):
+        graph = outgoing_conflict_scheme(4)
+        assert graph.out_degree(0) == 4
+        assert len(graph.nodes) == 5
+
+    def test_incoming_scheme(self):
+        graph = incoming_conflict_scheme(3)
+        assert graph.in_degree(0) == 3
+
+    def test_invalid_fanout(self):
+        with pytest.raises(WorkloadError):
+            outgoing_conflict_scheme(0)
+        with pytest.raises(WorkloadError):
+            incoming_conflict_scheme(0)
+
+
+class TestReconstructedGraphs:
+    def test_figure4_structure(self):
+        graph = figure4_scheme()
+        assert len(graph) == 6
+        assert graph.out_degree(0) == 3
+        assert graph.in_degree(3) == 3
+        assert graph.delta_o("f") == 1
+
+    def test_figure5_structure(self):
+        graph = figure5_graph()
+        assert len(graph) == 6
+        # the doubly contended destination node receives three communications
+        assert graph.in_degree(2) == 3
+        assert graph.out_degree(0) == 3
+
+    def test_mk1_is_a_tree(self):
+        import networkx as nx
+        graph = mk1_tree()
+        undirected = nx.Graph()
+        for comm in graph:
+            undirected.add_edge(comm.src, comm.dst)
+        assert nx.is_tree(undirected)
+        assert len(graph) == 7
+        assert len(graph.nodes) == 8
+
+    def test_mk2_is_a_complete_graph(self):
+        graph = mk2_complete()
+        assert len(graph) == 10
+        assert len(graph.nodes) == 5
+        pairs = {frozenset((c.src, c.dst)) for c in graph}
+        assert len(pairs) == 10   # one communication per unordered pair
+
+    def test_default_sizes_match_the_paper(self):
+        assert all(c.size == 4 * MB for c in figure4_scheme())
+        assert all(c.size == 20 * MB for c in figure5_graph())
+        assert all(c.size == 4 * MB for c in mk1_tree())
+
+
+class TestSchemeRegistry:
+    def test_every_builder_produces_a_graph(self):
+        for name in SCHEME_BUILDERS:
+            graph = get_scheme(name)
+            assert len(graph) >= 1
+
+    def test_get_scheme_with_size(self):
+        graph = get_scheme("mk2", size=1 * MB)
+        assert all(c.size == 1 * MB for c in graph)
+
+    def test_get_scheme_unknown(self):
+        with pytest.raises(WorkloadError):
+            get_scheme("fig99")

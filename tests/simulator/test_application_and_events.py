@@ -1,0 +1,126 @@
+"""Tests for events, task traces and applications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TraceError
+from repro.simulator import (
+    ANY_SOURCE,
+    Application,
+    BarrierEvent,
+    ComputeEvent,
+    RecvEvent,
+    SendEvent,
+)
+from repro.simulator.events import validate_event
+from repro.units import MB
+
+
+class TestEvents:
+    def test_compute_needs_duration_or_flops(self):
+        with pytest.raises(TraceError):
+            ComputeEvent()
+        assert ComputeEvent(duration=1.0).duration == 1.0
+        assert ComputeEvent(flops=1e9).flops == 1e9
+
+    def test_compute_rejects_negative(self):
+        with pytest.raises(TraceError):
+            ComputeEvent(duration=-1.0)
+        with pytest.raises(TraceError):
+            ComputeEvent(flops=-1.0)
+
+    def test_send_validation(self):
+        with pytest.raises(TraceError):
+            SendEvent(dst=-1, size=10)
+        with pytest.raises(TraceError):
+            SendEvent(dst=1, size=-10)
+
+    def test_recv_accepts_any_source(self):
+        event = RecvEvent()
+        assert event.src == ANY_SOURCE
+
+    def test_validate_event_bounds(self):
+        with pytest.raises(TraceError):
+            validate_event(SendEvent(dst=5, size=1), num_tasks=4, rank=0)
+        with pytest.raises(TraceError):
+            validate_event(SendEvent(dst=1, size=1), num_tasks=4, rank=1)  # self send
+        with pytest.raises(TraceError):
+            validate_event(RecvEvent(src=9), num_tasks=4, rank=0)
+        validate_event(BarrierEvent(), num_tasks=4, rank=0)  # no error
+
+
+class TestApplication:
+    def test_build_and_access(self):
+        app = Application(num_tasks=3, name="demo")
+        app.add_send(0, 1, 1 * MB)
+        app.add_recv(1, 0, 1 * MB)
+        app.add_compute(2, duration=0.5)
+        assert app.trace(0).num_sends == 1
+        assert app.trace(1).num_recvs == 1
+        assert app.trace(2).compute_seconds == 0.5
+        assert app.total_messages == 1
+        assert app.total_bytes == 1 * MB
+
+    def test_invalid_rank(self):
+        app = Application(num_tasks=2)
+        with pytest.raises(TraceError):
+            app.trace(5)
+        with pytest.raises(TraceError):
+            app.add_send(0, 5, 1)
+
+    def test_needs_at_least_one_task(self):
+        with pytest.raises(TraceError):
+            Application(num_tasks=0)
+
+    def test_barrier_is_global(self):
+        app = Application(num_tasks=4)
+        app.add_barrier()
+        assert all(isinstance(trace.events[0], BarrierEvent) for trace in app)
+
+    def test_pairwise_exchange(self):
+        app = Application(num_tasks=2)
+        app.add_pairwise_exchange(0, 1, 2 * MB)
+        assert app.trace(0).num_sends == 1
+        assert app.trace(1).num_recvs == 1
+
+    def test_from_events(self):
+        app = Application.from_events([
+            [SendEvent(dst=1, size=100)],
+            [RecvEvent(src=0)],
+        ])
+        assert app.num_tasks == 2
+        app.validate()
+
+    def test_validate_detects_missing_send(self):
+        app = Application(num_tasks=2)
+        app.add_recv(1, 0, 100)
+        with pytest.raises(TraceError):
+            app.validate()
+
+    def test_validate_detects_unmatched_wildcard(self):
+        app = Application(num_tasks=3)
+        app.add_recv(2)            # wildcard with no send at all
+        with pytest.raises(TraceError):
+            app.validate()
+
+    def test_validate_accepts_wildcard_covered_by_sends(self):
+        app = Application(num_tasks=3)
+        app.add_send(0, 2, 100)
+        app.add_send(1, 2, 100)
+        app.add_recv(2)
+        app.add_recv(2)
+        app.validate()
+
+    def test_validate_accepts_matched_channels(self):
+        app = Application(num_tasks=2)
+        app.add_send(0, 1, 100, tag=7)
+        app.add_recv(1, 0, 100, tag=7)
+        app.validate()
+
+    def test_describe(self):
+        app = Application(num_tasks=2, name="demo")
+        app.add_send(0, 1, 100)
+        app.add_recv(1, 0, 100)
+        text = app.describe()
+        assert "demo" in text and "rank 0" in text

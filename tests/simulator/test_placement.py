@@ -1,0 +1,122 @@
+"""Tests of the placement policies (RRN, RRP, Random, user defined)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import (
+    custom_cluster,
+    make_placement,
+    random_placement,
+    round_robin_per_node,
+    round_robin_per_processor,
+    user_defined_placement,
+)
+from repro.exceptions import SchedulingError
+
+
+@pytest.fixture
+def cluster():
+    return custom_cluster(num_nodes=4, cores_per_node=2, technology="ethernet")
+
+
+class TestRoundRobinPerNode:
+    def test_tasks_spread_across_nodes_first(self, cluster):
+        placement = round_robin_per_node(cluster, 8)
+        assert placement.node_of_rank == (0, 1, 2, 3, 0, 1, 2, 3)
+
+    def test_fewer_tasks_than_nodes(self, cluster):
+        placement = round_robin_per_node(cluster, 3)
+        assert placement.node_of_rank == (0, 1, 2)
+
+    def test_cores_assigned_incrementally(self, cluster):
+        placement = round_robin_per_node(cluster, 8)
+        assert placement.core_of_rank[0] == 0
+        assert placement.core_of_rank[4] == 1
+
+    def test_policy_label(self, cluster):
+        assert round_robin_per_node(cluster, 4).policy == "RRN"
+
+
+class TestRoundRobinPerProcessor:
+    def test_nodes_filled_first(self, cluster):
+        placement = round_robin_per_processor(cluster, 8)
+        assert placement.node_of_rank == (0, 0, 1, 1, 2, 2, 3, 3)
+        assert placement.core_of_rank == (0, 1, 0, 1, 0, 1, 0, 1)
+
+    def test_same_node_detection(self, cluster):
+        placement = round_robin_per_processor(cluster, 8)
+        assert placement.same_node(0, 1)
+        assert not placement.same_node(1, 2)
+
+    def test_capacity_check(self, cluster):
+        with pytest.raises(SchedulingError):
+            round_robin_per_processor(cluster, 9)
+
+    def test_oversubscription_allowed_when_requested(self, cluster):
+        placement = round_robin_per_processor(cluster, 12, oversubscribe=True)
+        assert placement.num_tasks == 12
+
+
+class TestRandomPlacement:
+    def test_deterministic_given_seed(self, cluster):
+        a = random_placement(cluster, 6, seed=42)
+        b = random_placement(cluster, 6, seed=42)
+        assert a.node_of_rank == b.node_of_rank
+
+    def test_different_seeds_differ(self, cluster):
+        a = random_placement(cluster, 8, seed=1)
+        b = random_placement(cluster, 8, seed=2)
+        assert a.node_of_rank != b.node_of_rank
+
+    def test_no_core_oversubscription_without_flag(self, cluster):
+        placement = random_placement(cluster, 8, seed=0)
+        pairs = list(zip(placement.node_of_rank, placement.core_of_rank))
+        assert len(set(pairs)) == 8
+
+    def test_nodes_within_cluster(self, cluster):
+        placement = random_placement(cluster, 8, seed=3)
+        assert all(0 <= n < cluster.num_nodes for n in placement.node_of_rank)
+
+
+class TestUserDefinedPlacement:
+    def test_explicit_mapping(self, cluster):
+        placement = user_defined_placement(cluster, [0, 0, 0, 1])
+        assert placement.node_of_rank == (0, 0, 0, 1)
+        assert placement.core_of_rank == (0, 1, 2, 0)
+        assert placement.ranks_on_node(0) == (0, 1, 2)
+
+    def test_invalid_node_rejected(self, cluster):
+        with pytest.raises(SchedulingError):
+            user_defined_placement(cluster, [0, 9])
+
+    def test_tasks_per_node(self, cluster):
+        placement = user_defined_placement(cluster, [0, 0, 1])
+        assert placement.tasks_per_node() == {0: 2, 1: 1}
+
+
+class TestFactoryAndAccessors:
+    @pytest.mark.parametrize("policy,expected_first_two", [
+        ("RRN", (0, 1)),
+        ("rrp", (0, 0)),
+    ])
+    def test_make_placement(self, cluster, policy, expected_first_two):
+        placement = make_placement(policy, cluster, 4)
+        assert placement.node_of_rank[:2] == expected_first_two
+
+    def test_make_placement_random(self, cluster):
+        placement = make_placement("random", cluster, 4, seed=5)
+        assert placement.num_tasks == 4
+
+    def test_unknown_policy(self, cluster):
+        with pytest.raises(SchedulingError):
+            make_placement("round-robin-per-rack", cluster, 4)
+
+    def test_rank_bounds_checked(self, cluster):
+        placement = round_robin_per_node(cluster, 4)
+        with pytest.raises(SchedulingError):
+            placement.node(10)
+
+    def test_describe(self, cluster):
+        text = round_robin_per_node(cluster, 4).describe()
+        assert "node 0" in text

@@ -1,0 +1,91 @@
+"""Tests for the command line interface and the unit helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.units import (
+    GBIT,
+    MB,
+    format_rate,
+    format_size,
+    format_time,
+    parse_size,
+)
+
+
+class TestUnits:
+    @pytest.mark.parametrize("text,expected", [
+        ("20M", 20 * MB),
+        ("4MB", 4 * MB),
+        ("512k", 512_000),
+        ("1GiB", 1 << 30),
+        (1024, 1024),
+        ("0", 0),
+    ])
+    def test_parse_size(self, text, expected):
+        assert parse_size(text) == expected
+
+    @pytest.mark.parametrize("text", ["-5", "12parsecs", "MB", ""])
+    def test_parse_size_rejects_garbage(self, text):
+        with pytest.raises(ValueError):
+            parse_size(text)
+
+    def test_format_size(self):
+        assert format_size(20 * MB) == "20 MB"
+        assert format_size(512) == "512 B"
+
+    def test_format_time(self):
+        assert format_time(1.5).endswith("s")
+        assert "ms" in format_time(0.002)
+        assert "us" in format_time(2e-6)
+
+    def test_format_rate(self):
+        assert "MB/s" in format_rate(93.75e6)
+        assert "GB/s" in format_rate(2e9)
+
+    def test_gbit_constant(self):
+        assert GBIT == pytest.approx(125_000_000)
+
+
+class TestCli:
+    def test_predict_inline_scheme(self, capsys):
+        code = main(["predict", "--network", "ethernet", "--scheme", "0->1 0->2 0->3"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2.25" in out
+        assert "gigabit-ethernet" in out
+
+    def test_predict_explicit_model(self, capsys):
+        code = main(["predict", "--network", "myrinet", "--model", "myrinet",
+                     "--scheme", "0->1 0->2", "--size", "4M"])
+        assert code == 0
+        assert "2.0" in capsys.readouterr().out
+
+    def test_measure_scheme_file(self, tmp_path, capsys):
+        scheme = tmp_path / "scheme.scm"
+        scheme.write_text("scheme demo\nsize 20M\n0 -> 1 : a\n0 -> 2 : b\n")
+        code = main(["measure", "--network", "myrinet", "--scheme-file", str(scheme),
+                     "--iterations", "1", "--hosts", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "penalty" in out and "demo" in out
+
+    def test_calibrate(self, capsys):
+        code = main(["calibrate", "--network", "ethernet", "--iterations", "1",
+                     "--hosts", "8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "beta" in out
+        beta_line = next(line for line in out.splitlines() if line.startswith("beta"))
+        assert float(beta_line.split(":")[1]) == pytest.approx(0.75, abs=0.01)
+
+    def test_missing_scheme_reports_error(self, capsys):
+        code = main(["predict", "--network", "ethernet"])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            main([])
