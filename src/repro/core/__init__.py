@@ -32,10 +32,17 @@ from .conflicts import (
 )
 from .ethernet_model import EthernetParameters, GigabitEthernetModel
 from .graph import Communication, CommunicationGraph, ConflictRule
+from .incremental import EngineStats, IncrementalPenaltyEngine, PenaltyCache
 from .infiniband_model import InfinibandModel, InfinibandParameters
 from .myrinet_model import MyrinetModel, StateSetAnalysis, maximal_independent_sets
 from .penalty import ContentionModel, LinearCostModel, PenaltyPrediction
-from .registry import available_models, get_model, model_for_network, register_model
+from .registry import (
+    available_models,
+    available_networks,
+    get_model,
+    model_for_network,
+    register_model,
+)
 
 __all__ = [
     "Communication",
@@ -49,6 +56,9 @@ __all__ = [
     "ContentionModel",
     "LinearCostModel",
     "PenaltyPrediction",
+    "EngineStats",
+    "IncrementalPenaltyEngine",
+    "PenaltyCache",
     "EthernetParameters",
     "GigabitEthernetModel",
     "MyrinetModel",
@@ -72,5 +82,6 @@ __all__ = [
     "register_model",
     "get_model",
     "available_models",
+    "available_networks",
     "model_for_network",
 ]

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import ModelError
-from .graph import Communication, CommunicationGraph
+from .graph import Communication, CommunicationGraph, ConflictRule
 from .penalty import ContentionModel, LinearCostModel
 
 __all__ = [
@@ -48,6 +48,8 @@ class NoContentionModel(ContentionModel):
 
     name = "no-contention"
     network = "any (linear model)"
+    component_rule = ConflictRule.ENDPOINT
+    structural_penalties = True
 
     def penalties(self, graph: CommunicationGraph) -> Dict[str, float]:
         graph.validate()
@@ -66,6 +68,8 @@ class FairShareModel(ContentionModel):
 
     name = "fair-share"
     network = "ideal NIC"
+    component_rule = ConflictRule.ENDPOINT
+    structural_penalties = True
 
     def penalties(self, graph: CommunicationGraph) -> Dict[str, float]:
         graph.validate()
@@ -104,6 +108,10 @@ class KimLeeModel(ContentionModel):
 
     def __init__(self, path_provider: Optional[PathProvider] = None) -> None:
         self.path_provider = path_provider
+        # with a custom path provider, communications may share switch-level
+        # segments without sharing endpoints: no locality promise then.
+        self.component_rule = None if path_provider is not None else ConflictRule.ENDPOINT
+        self.structural_penalties = path_provider is None
 
     def _segments(self, comm: Communication) -> Sequence[Tuple[int, int]]:
         if self.path_provider is not None:
@@ -228,6 +236,8 @@ class LogGPContentionAdapter(ContentionModel):
 
     name = "loggp"
     network = "any (LogGP linear model)"
+    component_rule = ConflictRule.ENDPOINT
+    structural_penalties = True
 
     def __init__(self, cost_model: LogGPCostModel | LogPCostModel) -> None:
         self.cost_model = cost_model

@@ -39,7 +39,7 @@ from dataclasses import dataclass
 from typing import Dict, Mapping
 
 from ..exceptions import ModelError
-from .graph import Communication, CommunicationGraph
+from .graph import Communication, CommunicationGraph, ConflictRule
 from .penalty import ContentionModel
 
 __all__ = ["EthernetParameters", "GigabitEthernetModel"]
@@ -72,9 +72,16 @@ class GigabitEthernetModel(ContentionModel):
 
     name = "gigabit-ethernet"
     network = "Gigabit Ethernet (TCP)"
+    # p depends on Δo/Δi and the strongly-slowed sets, all of which are
+    # contained in the ENDPOINT conflict component of the communication.
+    component_rule = ConflictRule.ENDPOINT
+    structural_penalties = True
 
     def __init__(self, parameters: EthernetParameters | None = None) -> None:
         self.parameters = parameters or EthernetParameters.paper()
+
+    def memo_key(self) -> tuple:
+        return super().memo_key() + (self.parameters,)
 
     # ------------------------------------------------------------------ model
     def outgoing_penalty(self, graph: CommunicationGraph, comm: Communication | str) -> float:

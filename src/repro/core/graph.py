@@ -19,6 +19,15 @@ quantity the models need:
 Graphs are hashable snapshots of a contention situation and are therefore
 kept immutable after :meth:`CommunicationGraph.freeze` (the models freeze
 them defensively).
+
+To support the incremental contention engine
+(:mod:`repro.core.incremental`) the graph additionally maintains per-node
+endpoint indices (so every degree/conflict query is proportional to the
+local neighbourhood, not to the whole graph), offers a mutation/delta API
+(:meth:`CommunicationGraph.remove` next to :meth:`CommunicationGraph.add`)
+and exposes a canonical, order-independent :meth:`structural_key` used to
+memoize per-component penalty evaluations across repeated contention
+situations.
 """
 
 from __future__ import annotations
@@ -123,6 +132,11 @@ class CommunicationGraph:
     def __init__(self, communications: Iterable[Communication] = (), name: str = "") -> None:
         self.name = name
         self._comms: Dict[str, Communication] = {}
+        # endpoint indices over *inter-node* communications; the inner dicts
+        # are used as ordered sets (name -> None) so per-node query results
+        # preserve graph insertion order.
+        self._by_src: Dict[NodeId, Dict[str, None]] = defaultdict(dict)
+        self._by_dst: Dict[NodeId, Dict[str, None]] = defaultdict(dict)
         self._frozen = False
         for comm in communications:
             self.add(comm)
@@ -135,6 +149,31 @@ class CommunicationGraph:
         if comm.name in self._comms:
             raise GraphError(f"duplicate communication name {comm.name!r}")
         self._comms[comm.name] = comm
+        if not comm.is_intra_node:
+            self._by_src[comm.src][comm.name] = None
+            self._by_dst[comm.dst][comm.name] = None
+        return comm
+
+    def remove(self, name: str) -> Communication:
+        """Remove (and return) the named communication — the delta API.
+
+        Together with :meth:`add` this lets a caller mutate a live graph one
+        flow arrival/departure at a time instead of rebuilding it from
+        scratch on every event; :class:`repro.core.incremental.IncrementalPenaltyEngine`
+        uses it to keep track of dirty conflict components.
+        """
+        if self._frozen:
+            raise GraphError("cannot modify a frozen communication graph")
+        comm = self._comms.pop(name, None)
+        if comm is None:
+            raise GraphError(f"unknown communication {name!r}")
+        if not comm.is_intra_node:
+            del self._by_src[comm.src][comm.name]
+            if not self._by_src[comm.src]:
+                del self._by_src[comm.src]
+            del self._by_dst[comm.dst][comm.name]
+            if not self._by_dst[comm.dst]:
+                del self._by_dst[comm.dst]
         return comm
 
     def add_edge(
@@ -260,11 +299,11 @@ class CommunicationGraph:
     # ---------------------------------------------------------------- degrees
     def out_degree(self, node: NodeId) -> int:
         """Number of communications leaving ``node`` (``Δo(v)`` in the paper)."""
-        return sum(1 for c in self if c.src == node and not c.is_intra_node)
+        return len(self._by_src.get(node, ()))
 
     def in_degree(self, node: NodeId) -> int:
         """Number of communications entering ``node`` (``Δi(v)`` in the paper)."""
-        return sum(1 for c in self if c.dst == node and not c.is_intra_node)
+        return len(self._by_dst.get(node, ()))
 
     def delta_o(self, comm: Communication | str) -> int:
         """``Δo(i)``: out-degree of the source node of communication ``i``."""
@@ -287,12 +326,12 @@ class CommunicationGraph:
     def outgoing_set(self, comm: Communication | str) -> Tuple[Communication, ...]:
         """``Co``: communications sharing the source node of ``comm`` (including it)."""
         comm = self._resolve(comm)
-        return tuple(c for c in self if c.src == comm.src and not c.is_intra_node)
+        return tuple(self._comms[n] for n in self._by_src.get(comm.src, ()))
 
     def incoming_set(self, comm: Communication | str) -> Tuple[Communication, ...]:
         """``Ci``: communications sharing the destination node of ``comm`` (including it)."""
         comm = self._resolve(comm)
-        return tuple(c for c in self if c.dst == comm.dst and not c.is_intra_node)
+        return tuple(self._comms[n] for n in self._by_dst.get(comm.dst, ()))
 
     def strongly_slowed_outgoing(self, comm: Communication | str) -> Tuple[Communication, ...]:
         """``C^m_o`` restricted to the source node of ``comm``.
@@ -335,17 +374,15 @@ class CommunicationGraph:
         """
         comms = [c for c in self if not c.is_intra_node]
         adjacency: Dict[str, set] = {c.name: set() for c in comms}
-        by_src: Dict[NodeId, List[str]] = defaultdict(list)
-        by_dst: Dict[NodeId, List[str]] = defaultdict(list)
-        by_node: Dict[NodeId, List[str]] = defaultdict(list)
-        for c in comms:
-            by_src[c.src].append(c.name)
-            by_dst[c.dst].append(c.name)
-            by_node[c.src].append(c.name)
-            by_node[c.dst].append(c.name)
         if rule == ConflictRule.ENDPOINT:
-            groups: Iterable[List[str]] = itertools.chain(by_src.values(), by_dst.values())
+            groups: Iterable[Iterable[str]] = itertools.chain(
+                self._by_src.values(), self._by_dst.values()
+            )
         elif rule == ConflictRule.ANY_NODE:
+            by_node: Dict[NodeId, List[str]] = defaultdict(list)
+            for c in comms:
+                by_node[c.src].append(c.name)
+                by_node[c.dst].append(c.name)
             groups = by_node.values()
         else:
             raise GraphError(f"unknown conflict rule {rule!r}")
@@ -376,6 +413,72 @@ class CommunicationGraph:
                         stack.append(neighbour)
             components.append(tuple(sorted(component)))
         return components
+
+    @staticmethod
+    def conflict_resources(comm: Communication, rule: str = ConflictRule.ENDPOINT) -> Tuple[Tuple[str, NodeId], ...]:
+        """The endpoint resources ``comm`` occupies under ``rule``.
+
+        Two inter-node communications conflict exactly when they share one of
+        these opaque resource keys, so connected components of the conflict
+        graph are equivalence classes of resource co-occupancy.  The
+        incremental engine uses this to merge/split components on flow
+        arrival/departure without rebuilding the adjacency.
+        """
+        if rule == ConflictRule.ENDPOINT:
+            return (("src", comm.src), ("dst", comm.dst))
+        if rule == ConflictRule.ANY_NODE:
+            return (("node", comm.src), ("node", comm.dst))
+        raise GraphError(f"unknown conflict rule {rule!r}")
+
+    # ----------------------------------------------------------- canonical key
+    def structural_key(
+        self,
+        names: Iterable[str] | None = None,
+        include_sizes: bool = False,
+    ) -> Tuple[Tuple[int, ...], ...]:
+        """Canonical, order-independent key of the (sub)graph structure.
+
+        Nodes are relabelled by their rank among the sorted node identifiers
+        of the selection and the resulting ``(src_rank, dst_rank[, size])``
+        edges are returned sorted, so two selections receive the same key
+        whenever the order-preserving relabelling of their node identifiers
+        maps one onto the other — regardless of communication names or
+        insertion order.  Key equality therefore implies graph isomorphism
+        (the converse is not attempted: canonical labelling of arbitrary
+        graphs is as hard as isomorphism testing), which makes the key safe
+        to memoize structural penalty evaluations on.
+
+        >>> g1 = CommunicationGraph.from_edges([(0, 1), (0, 2)])
+        >>> g2 = CommunicationGraph.from_edges([(7, 9), (7, 8)])
+        >>> g1.structural_key() == g2.structural_key()
+        True
+        """
+        if include_sizes:
+            comms = list(self._comms.values()) if names is None else [self[n] for n in names]
+            nodes = sorted({c.src for c in comms} | {c.dst for c in comms})
+            rank = {node: i for i, node in enumerate(nodes)}
+            return tuple(sorted((rank[c.src], rank[c.dst], c.size) for c in comms))
+        key, _ = self.canonical_component(self.names if names is None else names)
+        return key
+
+    def canonical_component(
+        self, names: Iterable[str]
+    ) -> Tuple[Tuple[Tuple[int, int], ...], Dict[str, Tuple[int, int]]]:
+        """Canonical key of a selection plus each member's canonical endpoints.
+
+        The second element maps every selected communication to its
+        ``(src_rank, dst_rank)`` pair under the same node relabelling the key
+        is built from, so a memoized result for an isomorphic selection can
+        be transported back onto these communications.  Keeping key and
+        per-communication ranks derived from one relabelling in one place is
+        what makes the penalty cache sound.
+        """
+        comms = [self[n] for n in names]
+        nodes = sorted({c.src for c in comms} | {c.dst for c in comms})
+        rank = {node: i for i, node in enumerate(nodes)}
+        endpoint_ranks = {c.name: (rank[c.src], rank[c.dst]) for c in comms}
+        key = tuple(sorted(endpoint_ranks.values()))
+        return key, endpoint_ranks
 
     # ------------------------------------------------------------ conversions
     def to_networkx(self) -> nx.MultiDiGraph:

@@ -42,7 +42,7 @@ from typing import Dict, Mapping
 
 from ..exceptions import ModelError
 from .ethernet_model import EthernetParameters, GigabitEthernetModel
-from .graph import Communication, CommunicationGraph
+from .graph import Communication, CommunicationGraph, ConflictRule
 from .penalty import ContentionModel
 
 __all__ = ["InfinibandParameters", "InfinibandModel"]
@@ -87,10 +87,19 @@ class InfinibandModel(ContentionModel):
 
     name = "infiniband"
     network = "InfiniBand (InfiniHost III)"
+    # the λ cross terms couple a communication to the flows *entering its
+    # source* and *leaving its destination*, which are not ENDPOINT
+    # conflicts — the model is only local under the coarser ANY_NODE
+    # components (connected host groups).
+    component_rule = ConflictRule.ANY_NODE
+    structural_penalties = True
 
     def __init__(self, parameters: InfinibandParameters | None = None) -> None:
         self.parameters = parameters or InfinibandParameters.infinihost3()
         self._base = GigabitEthernetModel(self.parameters.base_parameters())
+
+    def memo_key(self) -> tuple:
+        return super().memo_key() + (self.parameters,)
 
     def communication_penalty(self, graph: CommunicationGraph, comm: Communication | str) -> float:
         comm = graph[comm] if isinstance(comm, str) else graph[comm.name]

@@ -152,6 +152,7 @@ class MyrinetModel(ContentionModel):
 
     name = "myrinet"
     network = "Myrinet 2000 (MX)"
+    structural_penalties = True
 
     def __init__(
         self,
@@ -179,6 +180,18 @@ class MyrinetModel(ContentionModel):
         self.conflict_rule = conflict_rule
         self.max_component_size = int(max_component_size)
         self.decompose = bool(decompose)
+        # the state-set analysis is component-local under the model's own
+        # conflict rule (it decomposes along exactly these components).  With
+        # decompose=False the caller explicitly asked for whole-graph
+        # analysis — declaring locality would let the incremental engine
+        # decompose anyway, which keeps the penalties identical but changes
+        # the max_component_size error semantics vs a full recomputation.
+        self.component_rule = conflict_rule if self.decompose else None
+
+    def memo_key(self) -> tuple:
+        return super().memo_key() + (
+            self.conflict_rule, self.max_component_size, self.decompose,
+        )
 
     # -------------------------------------------------------------- analysis
     def analyse(self, graph: CommunicationGraph) -> StateSetAnalysis:

@@ -137,10 +137,60 @@ class ContentionModel(abc.ABC):
     name: str = "abstract"
     #: network technology the model was designed for (free-form label)
     network: str = "generic"
+    #: conflict rule under which the model is *component-local*: the penalty
+    #: of a communication only depends on the connected component of the
+    #: conflict graph (under this rule) it belongs to.  ``None`` means the
+    #: model makes no locality promise and :meth:`component_penalties` falls
+    #: back to whole-graph evaluation.  All shipped models are local under
+    #: :data:`~repro.core.graph.ConflictRule.ENDPOINT` except the InfiniBand
+    #: extension, whose income/outgo cross terms couple communications that
+    #: merely share a node (→ ``ANY_NODE``).
+    component_rule: str | None = None
+    #: True when penalties depend only on the *structure* of the graph (node
+    #: identities up to relabelling; never on message sizes or names), which
+    #: makes evaluations memoizable by canonical component snapshot
+    #: (:meth:`CommunicationGraph.structural_key`).  Every model of the paper
+    #: has this property (penalties are size-free ratios); the conservative
+    #: default for third-party subclasses is False.
+    structural_penalties: bool = False
 
     @abc.abstractmethod
     def penalties(self, graph: CommunicationGraph) -> Dict[str, float]:
-        """Return the penalty of every communication of ``graph`` (≥ 1)."""
+        """Return the penalty of every communication of ``graph`` (≥ 1).
+
+        Contract: intra-node communications never touch the NIC and must be
+        given penalty exactly 1.0 (every shipped model does).  The
+        incremental engine relies on this and prices intra-node flows
+        without consulting the model.
+        """
+
+    def memo_key(self) -> tuple:
+        """Hashable identity of the model *and its parameters*.
+
+        Namespaces shared penalty caches: two models may only exchange
+        memoized component evaluations when their ``memo_key`` is equal.
+        Subclasses with tunable parameters that change penalties must
+        include them (see the ethernet/myrinet/infiniband overrides).
+        """
+        return (type(self).__module__, type(self).__qualname__)
+
+    def component_penalties(
+        self, graph: CommunicationGraph, names: Iterable[str]
+    ) -> Dict[str, float]:
+        """Penalties of the named communications only.
+
+        When :attr:`component_rule` is set, ``names`` must be a union of
+        connected components of the conflict graph under that rule (plus any
+        intra-node communications); evaluation is then scoped to their
+        subgraph, which is exactly equivalent to evaluating the whole graph.
+        Models without a locality promise evaluate the whole graph and
+        restrict the result.
+        """
+        names = list(names)
+        if self.component_rule is None:
+            full = self.penalties(graph)
+            return {n: full[n] for n in names}
+        return self.penalties(graph.subgraph(names))
 
     def penalty(self, graph: CommunicationGraph, comm: Communication | str) -> float:
         """Penalty of a single communication (convenience wrapper)."""

@@ -18,7 +18,13 @@ from .infiniband_model import InfinibandModel
 from .myrinet_model import MyrinetModel
 from .penalty import ContentionModel
 
-__all__ = ["register_model", "get_model", "available_models", "model_for_network"]
+__all__ = [
+    "register_model",
+    "get_model",
+    "available_models",
+    "available_networks",
+    "model_for_network",
+]
 
 
 ModelFactory = Callable[..., ContentionModel]
@@ -59,8 +65,15 @@ def get_model(name: str, **kwargs) -> ContentionModel:
     """
     key = name.lower()
     if key not in _REGISTRY:
+        hint = ""
+        if key in _NETWORK_ALIASES:
+            hint = (
+                f"; {name!r} is a network alias for the {_NETWORK_ALIASES[key]!r} "
+                f"model — use model_for_network({name!r})"
+            )
         raise ModelError(
-            f"unknown model {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+            f"unknown model {name!r}; available models: "
+            f"{', '.join(sorted(_REGISTRY))}{hint}"
         )
     return _REGISTRY[key](**kwargs)
 
@@ -70,13 +83,19 @@ def available_models() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def available_networks() -> List[str]:
+    """Sorted list of network names/aliases accepted by :func:`model_for_network`."""
+    return sorted(_NETWORK_ALIASES)
+
+
 def model_for_network(network: str, **kwargs) -> ContentionModel:
     """Return the paper's model for a network technology name or alias."""
     key = network.lower()
     if key not in _NETWORK_ALIASES:
         raise ModelError(
-            f"no model associated with network {network!r}; known networks: "
-            f"{', '.join(sorted(set(_NETWORK_ALIASES)))}"
+            f"no model associated with network {network!r}; known "
+            f"networks/aliases: {', '.join(sorted(_NETWORK_ALIASES))}; "
+            f"registered models: {', '.join(sorted(_REGISTRY))}"
         )
     return get_model(_NETWORK_ALIASES[key], **kwargs)
 

@@ -24,12 +24,20 @@ instantaneous bandwidth the way the emulated interconnect would:
 With the shipped calibration the allocator reproduces the penalty ladder the
 paper measured on its three clusters (Figure 2) to within a few percent; see
 ``benchmarks/bench_fig2_penalty_ladder.py`` and ``EXPERIMENTS.md``.
+
+Like the model-side provider, the allocator memoizes its max-min solutions:
+the rate vector only depends on the multiset of ``(src, dst)`` endpoint
+pairs of the active transfers (sizes and transfer ids never enter the
+allocation, and same-endpoint flows receive equal rates in the unique
+max-min solution), so repeated sharing situations — ubiquitous in iterative
+workloads — are dictionary lookups instead of solver runs.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Sequence
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import SimulationError
 from .fluid import Transfer
@@ -41,15 +49,34 @@ __all__ = ["EmulatorRateProvider"]
 
 
 class EmulatorRateProvider:
-    """Rate provider implementing the calibrated sharing behaviour of a technology."""
+    """Rate provider implementing the calibrated sharing behaviour of a technology.
+
+    Parameters
+    ----------
+    technology, topology, num_hosts:
+        The emulated interconnect and its wiring (crossbar by default).
+    cache_size:
+        Number of memoized sharing situations (0 disables memoization).
+        Call :meth:`invalidate_cache` after mutating the topology or the
+        technology in place.
+    """
 
     def __init__(self, technology: NetworkTechnology, topology: Topology | None = None,
-                 num_hosts: int = 64) -> None:
+                 num_hosts: int = 64, cache_size: int = 4096) -> None:
         self.technology = technology
         self.topology = topology or CrossbarTopology(num_hosts=num_hosts, technology=technology)
         if self.topology.technology is not technology:
             # keep the two consistent; the topology carries link capacities
             self.topology.technology = technology
+        self.cache_size = int(cache_size)
+        #: situation key -> (src, dst) pair -> rate
+        self._rate_cache: "OrderedDict[Tuple[Tuple[int, int], ...], Dict[Tuple[int, int], float]]" = OrderedDict()
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def invalidate_cache(self) -> None:
+        """Drop memoized allocations (required after in-place reconfiguration)."""
+        self._rate_cache.clear()
 
     # ---------------------------------------------------------------- helpers
     def _directional_counts(self, active: Sequence[Transfer]) -> Dict[int, Dict[str, int]]:
@@ -108,6 +135,15 @@ class EmulatorRateProvider:
         return specs
 
     # -------------------------------------------------------------- interface
+    def _situation_key(self, active: Sequence[Transfer]) -> Tuple[Tuple[int, int], ...]:
+        return tuple(sorted((t.src, t.dst) for t in active))
+
+    def _solve(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
+        counts = self._directional_counts(active)
+        capacities = self._adjusted_capacities(counts)
+        specs = self._flow_specs(active, counts)
+        return max_min_allocation(specs, capacities)
+
     def rates(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
         """Instantaneous rate of every active transfer, in bytes per second."""
         if not active:
@@ -115,10 +151,32 @@ class EmulatorRateProvider:
         for transfer in active:
             self.topology.check_host(transfer.src)
             self.topology.check_host(transfer.dst)
-        counts = self._directional_counts(active)
-        capacities = self._adjusted_capacities(counts)
-        specs = self._flow_specs(active, counts)
-        return max_min_allocation(specs, capacities)
+        if self.cache_size <= 0:
+            return self._solve(active)
+
+        key = self._situation_key(active)
+        cached = self._rate_cache.get(key)
+        if cached is not None:
+            self._rate_cache.move_to_end(key)
+            self.cache_hits += 1
+            return {t.transfer_id: cached[(t.src, t.dst)] for t in active}
+
+        self.cache_misses += 1
+        rates = self._solve(active)
+        by_pair: Optional[Dict[Tuple[int, int], float]] = {}
+        for transfer in active:
+            pair = (transfer.src, transfer.dst)
+            rate = rates[transfer.transfer_id]
+            if by_pair is not None:
+                if pair in by_pair and by_pair[pair] != rate:
+                    by_pair = None  # solver broke same-endpoint symmetry
+                else:
+                    by_pair[pair] = rate
+        if by_pair is not None:
+            self._rate_cache[key] = by_pair
+            while len(self._rate_cache) > self.cache_size:
+                self._rate_cache.popitem(last=False)
+        return rates
 
     # ------------------------------------------------------------- penalties
     def instantaneous_penalties(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:

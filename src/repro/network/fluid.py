@@ -9,11 +9,22 @@ transfers into completion times:
   :class:`repro.simulator.predictor.ModelRateProvider`.
 
 The machinery in between is identical and lives here: a fluid simulation that
-keeps, for every in-flight transfer, its remaining byte count, recomputes all
+keeps, for every in-flight transfer, its remaining byte count, refreshes the
 rates whenever the set of active transfers changes (a transfer starts or
 finishes), and advances time to the next such event.  This is the standard
 flow-level approximation used by simulators such as SimGrid and is exact for
 max-min style allocations that only change at flow arrival/departure.
+
+Incremental recomputation contract: the simulator hands the *full* active
+set to ``rate_provider.rates`` at every event, but providers are expected to
+diff successive calls internally — :class:`repro.simulator.providers.ModelRateProvider`
+re-prices only the conflict components dirtied by the arrivals/departures
+since the previous call (memoizing repeated contention situations), and
+:class:`repro.network.allocator.EmulatorRateProvider` memoizes whole sharing
+situations by endpoint multiset.  The contract that makes this sound: the
+rates returned for a given active set must not depend on *when* the provider
+was previously queried, only on the set itself.  Any conforming provider can
+therefore cache aggressively; the fluid loop never needs to know.
 """
 
 from __future__ import annotations

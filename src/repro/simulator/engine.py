@@ -17,7 +17,17 @@ semantics the paper relies on:
 
 The engine is a fluid discrete-event simulation: time only advances to the
 next compute completion, transfer completion or transfer readiness, and the
-rates of all in-flight transfers are recomputed whenever that set changes.
+rates of all in-flight transfers are refreshed whenever that set changes.
+
+Rate refreshes follow the incremental recomputation contract of
+:mod:`repro.network.fluid`: the engine passes the full set of progressing
+transfers to the provider at every step, and the provider diffs it against
+the previous step — with the default incremental
+:class:`~repro.simulator.providers.ModelRateProvider`, an arrival or
+departure only re-prices the conflict components it dirtied, and repeated
+contention situations of iterative applications (LINPACK iterations,
+collective phases) hit the memoized snapshot cache instead of re-running
+the contention model.
 """
 
 from __future__ import annotations

@@ -4,20 +4,30 @@ The execution engine (:mod:`repro.simulator.engine`) advances in-flight
 transfers using instantaneous rates supplied by a *rate provider*.  Two
 providers exist:
 
-* :class:`ModelRateProvider` — the **predicted** side: it builds the
+* :class:`ModelRateProvider` — the **predicted** side: it maintains the
   node-level communication graph of the transfers currently in flight,
   queries a contention model (§V) for their penalties and converts each
   penalty into a rate (``single_stream_bandwidth / penalty``).  Intra-node
   transfers use the memory path.
 * :class:`~repro.network.allocator.EmulatorRateProvider` — the **measured**
   side (calibrated fluid emulator), re-exported here for symmetry.
+
+By default the model side is *incremental*: successive ``rates`` calls are
+diffed against the previous active set, only the dirty conflict components
+are re-priced, and repeated contention situations are served from a memoized
+snapshot cache (:mod:`repro.core.incremental`).  Pass ``incremental=False``
+to force the historical rebuild-everything behaviour — the two are
+bit-exact, which ``tests/property/test_incremental_properties.py`` asserts
+over random arrival/departure sequences.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Dict, Hashable, Mapping, Sequence
 
-from ..core.graph import CommunicationGraph
+from ..core.graph import Communication, CommunicationGraph
+from ..core.incremental import EngineStats, IncrementalPenaltyEngine, PenaltyCache
 from ..core.penalty import ContentionModel
 from ..network.allocator import EmulatorRateProvider
 from ..network.fluid import Transfer
@@ -27,35 +37,88 @@ __all__ = ["ModelRateProvider", "EmulatorRateProvider"]
 
 
 class ModelRateProvider:
-    """Turn a contention model into an instantaneous rate allocator."""
+    """Turn a contention model into an instantaneous rate allocator.
+
+    Parameters
+    ----------
+    model:
+        The contention model pricing the in-flight communication graph.
+    technology:
+        Network technology (or its name) supplying the single-stream and
+        memory-path bandwidths.
+    incremental:
+        When True (default), re-price only the conflict components dirtied
+        by transfer arrivals/departures between successive ``rates`` calls
+        and memoize component evaluations by canonical snapshot.  When
+        False, rebuild the graph and re-evaluate the whole model on every
+        call (the pre-incremental behaviour, kept for verification and
+        benchmarking).
+    cache:
+        Optional shared :class:`~repro.core.incremental.PenaltyCache`; lets
+        several providers (e.g. one per simulated run) reuse each other's
+        memoized contention situations.
+    """
 
     def __init__(
         self,
         model: ContentionModel,
         technology: NetworkTechnology | str,
+        incremental: bool = True,
+        cache: PenaltyCache | None = None,
     ) -> None:
         if isinstance(technology, str):
             technology = get_technology(technology)
         self.model = model
         self.technology = technology
+        self.incremental = bool(incremental)
+        self._engine: IncrementalPenaltyEngine | None = (
+            IncrementalPenaltyEngine(model, cache=cache) if self.incremental else None
+        )
+        # in full-recompute mode the stats only count communication
+        # evaluations, so both modes report the same work metric
+        self._full_stats = EngineStats()
+
+    @property
+    def stats(self) -> EngineStats:
+        """Work counters (model evaluations, cache traffic) of this provider."""
+        if self._engine is not None:
+            return self._engine.stats
+        return self._full_stats
+
+    @staticmethod
+    def _comm_size(transfer: Transfer) -> int:
+        # round *up*: a sub-byte fractional remainder must not truncate to a
+        # size-0 communication mid-simulation
+        return int(math.ceil(transfer.size))
+
+    def _communication(self, transfer: Transfer) -> Communication:
+        return Communication(
+            name=str(transfer.transfer_id),
+            src=transfer.src,
+            dst=transfer.dst,
+            size=self._comm_size(transfer),
+        )
 
     def _graph_from_transfers(self, active: Sequence[Transfer]) -> CommunicationGraph:
         graph = CommunicationGraph(name="in-flight")
         for transfer in active:
-            graph.add_edge(
-                transfer.src,
-                transfer.dst,
-                size=int(transfer.size),
-                name=str(transfer.transfer_id),
-            )
+            graph.add(self._communication(transfer))
         return graph
+
+    def _penalties_by_name(self, active: Sequence[Transfer]) -> Mapping[str, float]:
+        if self._engine is not None:
+            return self._engine.update(self._communication(t) for t in active)
+        graph = self._graph_from_transfers(active)
+        self._full_stats.events += 1
+        self._full_stats.component_evaluations += 1
+        self._full_stats.comm_evaluations += len(active)
+        return self.model.penalties(graph)
 
     def rates(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
         """Rate (bytes/s) of every active transfer according to the model."""
         if not active:
             return {}
-        graph = self._graph_from_transfers(active)
-        penalties = self.model.penalties(graph)
+        penalties = self._penalties_by_name(active)
         single = self.technology.single_stream_bandwidth
         memory = self.technology.memory_bandwidth
         rates: Dict[Hashable, float] = {}
@@ -71,6 +134,5 @@ class ModelRateProvider:
         """Model penalties of the in-flight transfers (diagnostic helper)."""
         if not active:
             return {}
-        graph = self._graph_from_transfers(active)
-        penalties = self.model.penalties(graph)
+        penalties = self._penalties_by_name(active)
         return {t.transfer_id: penalties[str(t.transfer_id)] for t in active}

@@ -156,3 +156,34 @@ class TestRegistry:
         assert "test-custom-model" in available_models()
         register_model("test-custom-model", MyrinetModel, overwrite=True)
         assert isinstance(get_model("test-custom-model"), MyrinetModel)
+
+
+class TestRegistryErrorMessages:
+    def test_unknown_network_lists_aliases_and_models(self):
+        from repro.core import available_networks
+        with pytest.raises(ModelError) as excinfo:
+            model_for_network("token-ring")
+        message = str(excinfo.value)
+        # every alias and every registered model must be discoverable from
+        # the error alone
+        for alias in ("gige", "ethernet", "mx", "ib", "infinihost3"):
+            assert alias in message
+        for model_name in ("myrinet", "infiniband", "no-contention"):
+            assert model_name in message
+        assert set(available_networks()) >= {"gige", "mx", "ib"}
+
+    def test_unknown_model_lists_available_models(self):
+        with pytest.raises(ModelError) as excinfo:
+            get_model("does-not-exist")
+        message = str(excinfo.value)
+        for model_name in ("ethernet", "myrinet", "infiniband", "fair-share"):
+            assert model_name in message
+
+    def test_get_model_hints_at_network_alias(self):
+        # "gige" is a network alias, not a model name: the error should say so
+        with pytest.raises(ModelError) as excinfo:
+            get_model("gige")
+        message = str(excinfo.value)
+        assert "alias" in message
+        assert "model_for_network" in message
+        assert "'ethernet'" in message

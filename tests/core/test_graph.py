@@ -215,3 +215,137 @@ class TestConversions:
         text = graph.describe()
         assert "demo" in text
         assert "a:" in text and "b:" in text
+
+
+class TestRemoveAndDeltaAPI:
+    def test_remove_returns_and_forgets(self):
+        graph = CommunicationGraph.from_edges([(0, 1), (0, 2)])
+        removed = graph.remove("a")
+        assert removed.endpoints == (0, 1)
+        assert "a" not in graph
+        assert graph.names == ("b",)
+
+    def test_remove_updates_degrees(self):
+        graph = CommunicationGraph.from_edges([(0, 1), (0, 2), (3, 1)])
+        assert graph.out_degree(0) == 2
+        assert graph.in_degree(1) == 2
+        graph.remove("a")
+        assert graph.out_degree(0) == 1
+        assert graph.in_degree(1) == 1
+        graph.remove("c")
+        assert graph.in_degree(1) == 0
+
+    def test_remove_unknown_rejected(self):
+        graph = CommunicationGraph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            graph.remove("zzz")
+
+    def test_remove_on_frozen_rejected(self):
+        graph = CommunicationGraph.from_edges([(0, 1)]).freeze()
+        with pytest.raises(GraphError):
+            graph.remove("a")
+
+    def test_remove_then_add_round_trips_conflicts(self):
+        graph = CommunicationGraph.from_edges([(0, 1), (0, 2), (5, 6)])
+        comm = graph.remove("b")
+        assert graph.conflict_adjacency()["a"] == frozenset()
+        graph.add(comm)
+        assert graph.conflict_adjacency()["a"] == frozenset({"b"})
+
+    def test_remove_intra_node(self):
+        graph = CommunicationGraph()
+        graph.add_edge(2, 2, name="local")
+        graph.remove("local")
+        assert len(graph) == 0
+
+
+class TestConflictComponentsUnderBothRules:
+    # scheme: a income/outgo pair 0->1, 1->2 is split by ENDPOINT
+    # (no shared source, no shared destination) but joined by ANY_NODE.
+    def test_endpoint_rule_splits_income_outgo_chain(self):
+        graph = CommunicationGraph.from_edges([(0, 1), (1, 2)])
+        components = graph.conflict_components(ConflictRule.ENDPOINT)
+        assert sorted(map(sorted, components)) == [["a"], ["b"]]
+
+    def test_any_node_rule_joins_income_outgo_chain(self):
+        graph = CommunicationGraph.from_edges([(0, 1), (1, 2)])
+        components = graph.conflict_components(ConflictRule.ANY_NODE)
+        assert sorted(map(sorted, components)) == [["a", "b"]]
+
+    def test_shared_source_joined_under_both_rules(self):
+        graph = CommunicationGraph.from_edges([(0, 1), (0, 2), (5, 6)])
+        for rule in ConflictRule.ALL:
+            components = graph.conflict_components(rule)
+            assert sorted(map(sorted, components)) == [["a", "b"], ["c"]]
+
+    def test_shared_destination_joined_under_both_rules(self):
+        graph = CommunicationGraph.from_edges([(1, 0), (2, 0), (5, 6)])
+        for rule in ConflictRule.ALL:
+            components = graph.conflict_components(rule)
+            assert sorted(map(sorted, components)) == [["a", "b"], ["c"]]
+
+    def test_any_node_components_coarsen_endpoint_components(self):
+        graph = CommunicationGraph.from_edges(
+            [(0, 1), (1, 2), (2, 3), (5, 6), (7, 6), (8, 9)]
+        )
+        endpoint = graph.conflict_components(ConflictRule.ENDPOINT)
+        any_node = graph.conflict_components(ConflictRule.ANY_NODE)
+        for fine in endpoint:
+            assert any(set(fine) <= set(coarse) for coarse in any_node)
+
+    def test_intra_node_never_in_components(self):
+        graph = CommunicationGraph.from_edges([(0, 0), (0, 1)])
+        for rule in ConflictRule.ALL:
+            members = {n for comp in graph.conflict_components(rule) for n in comp}
+            assert members == {"b"}
+
+    def test_conflict_resources(self):
+        comm = Communication("a", 3, 4)
+        assert CommunicationGraph.conflict_resources(comm, ConflictRule.ENDPOINT) == (
+            ("src", 3), ("dst", 4))
+        assert CommunicationGraph.conflict_resources(comm, ConflictRule.ANY_NODE) == (
+            ("node", 3), ("node", 4))
+        with pytest.raises(GraphError):
+            CommunicationGraph.conflict_resources(comm, "bogus")
+
+
+class TestStructuralKey:
+    def test_order_independent(self):
+        g1 = CommunicationGraph.from_edges([(0, 1), (0, 2)])
+        g2 = CommunicationGraph.from_edges([(0, 2), (0, 1)])
+        assert g1.structural_key() == g2.structural_key()
+
+    def test_node_relabelling_invariant_when_order_preserved(self):
+        g1 = CommunicationGraph.from_edges([(0, 1), (0, 2)])
+        g2 = CommunicationGraph.from_edges([(10, 21), (10, 32)])
+        assert g1.structural_key() == g2.structural_key()
+
+    def test_name_independent(self):
+        g1 = CommunicationGraph.from_edges([(0, 1), (2, 1)], names=["x", "y"])
+        g2 = CommunicationGraph.from_edges([(2, 1), (0, 1)], names=["p", "q"])
+        assert g1.structural_key() == g2.structural_key()
+
+    def test_distinguishes_structure(self):
+        fan_out = CommunicationGraph.from_edges([(0, 1), (0, 2)])
+        fan_in = CommunicationGraph.from_edges([(1, 0), (2, 0)])
+        assert fan_out.structural_key() != fan_in.structural_key()
+
+    def test_multiplicity_preserved(self):
+        single = CommunicationGraph.from_edges([(0, 1)])
+        double = CommunicationGraph.from_edges([(0, 1), (0, 1)])
+        assert single.structural_key() != double.structural_key()
+
+    def test_subset_selection(self):
+        graph = CommunicationGraph.from_edges([(0, 1), (0, 2), (5, 6)])
+        assert graph.structural_key(["c"]) == ((0, 1),)
+
+    def test_sizes_optional(self):
+        g1 = CommunicationGraph.from_edges([(0, 1, 100)])
+        g2 = CommunicationGraph.from_edges([(0, 1, 200)])
+        assert g1.structural_key() == g2.structural_key()
+        assert g1.structural_key(include_sizes=True) != g2.structural_key(include_sizes=True)
+
+    def test_unknown_name_rejected(self):
+        graph = CommunicationGraph.from_edges([(0, 1)])
+        with pytest.raises(GraphError):
+            graph.structural_key(["nope"])
