@@ -18,10 +18,13 @@ import pytest
 from repro.analysis import compare_times, render_table
 from repro.benchmark import PenaltyTool
 from repro.core import (
+    EngineStats,
     FairShareModel,
     KimLeeModel,
     LinearCostModel,
     NoContentionModel,
+    PenaltyCache,
+    cached_predict,
     model_for_network,
 )
 from repro.workloads import complete_graph_scheme, random_graph_scheme, random_tree_scheme
@@ -40,6 +43,11 @@ def scheme_suite():
 
 
 def evaluate_models():
+    # one penalty cache for the whole sweep: the per-model memo_key namespace
+    # keeps the entries apart while isomorphic components (ubiquitous across
+    # the random suite) are priced once per model
+    cache = PenaltyCache()
+    stats = EngineStats()
     rows = {}
     for network in NETWORKS:
         tool = PenaltyTool(network, iterations=1, num_hosts=16)
@@ -58,17 +66,18 @@ def evaluate_models():
         for graph in scheme_suite():
             measured = tool.measure(graph).times
             for label, model in models.items():
-                predicted = model.predict_times(graph, cost)
+                predicted = cached_predict(model, graph, cost, cache=cache,
+                                           stats=stats).times
                 errors[label].append(compare_times(measured, predicted).absolute)
         rows[network] = {
             label: sum(values) / len(values) for label, values in errors.items()
         }
-    return rows
+    return rows, stats.snapshot()
 
 
 @pytest.mark.benchmark(group="ablation-baselines", min_rounds=1, max_time=1.0, warmup=False)
 def test_ablation_models_vs_baselines(benchmark, emit):
-    rows = benchmark.pedantic(evaluate_models, rounds=1, iterations=1)
+    rows, cache_stats = benchmark.pedantic(evaluate_models, rounds=1, iterations=1)
 
     table = render_table(
         ["network", "paper model", "fair share", "kim-lee", "no contention"],
@@ -78,7 +87,15 @@ def test_ablation_models_vs_baselines(benchmark, emit):
         title="Ablation A1 - mean E_abs [%] over the random scheme suite",
         float_format="{:.1f}",
     )
+    table += (
+        f"\n\nshared penalty cache: {cache_stats['comm_evaluations']} model "
+        f"evaluations, {cache_stats['cache_hits']} hits / "
+        f"{cache_stats['cache_misses']} misses"
+    )
     emit("ablation_baselines", table)
+
+    # sharing one cache across the sweep must actually pool evaluations
+    assert cache_stats["cache_hits"] > 0
 
     for network in NETWORKS:
         # the paper's contention models must clearly beat the linear (no

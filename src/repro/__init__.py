@@ -72,6 +72,12 @@ from .network import (
     get_technology,
 )
 from .benchmark import ExperimentRunner, PenaltyTool
+from .campaign import (
+    CampaignResultStore,
+    CampaignRunner,
+    CampaignSpec,
+    PersistentPenaltyCache,
+)
 from .mpi import MpiRuntime, Rank
 from .scheme import (
     figure2_schemes,
@@ -142,4 +148,9 @@ __all__ = [
     # simulator
     "Application",
     "Simulator",
+    # campaigns
+    "CampaignSpec",
+    "CampaignRunner",
+    "CampaignResultStore",
+    "PersistentPenaltyCache",
 ]

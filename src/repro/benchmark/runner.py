@@ -5,6 +5,14 @@ the paper; this module contains the shared orchestration so that the
 benchmark files stay declarative: run a scheme on the emulator of each
 network, predict it with each model, and collect measured/predicted pairs for
 the analysis layer.
+
+Predictions run through the campaign engine's cached pricing path
+(:func:`repro.core.incremental.cached_predict`): one
+:class:`~repro.core.incremental.PenaltyCache` is shared across every scheme,
+network and model of a sweep, so near-identical graphs are priced once —
+:attr:`ExperimentRunner.stats` reports the work actually performed.  The
+predicted penalties and times are bit-exact with direct
+:meth:`~repro.core.penalty.ContentionModel.predict` calls.
 """
 
 from __future__ import annotations
@@ -13,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.graph import CommunicationGraph
+from ..core.incremental import EngineStats, PenaltyCache, cached_predict
 from ..core.penalty import ContentionModel, LinearCostModel
 from ..core.registry import model_for_network
 from ..network.technologies import NetworkTechnology, get_technology
@@ -68,23 +77,34 @@ class SweepResult:
 
 
 class ExperimentRunner:
-    """Runs schemes against the emulator and a model for a set of networks."""
+    """Runs schemes against the emulator and a model for a set of networks.
+
+    Parameters
+    ----------
+    networks, iterations, num_hosts:
+        The emulated clusters to measure on.
+    cache:
+        Shared penalty cache for the model predictions.  ``None`` creates a
+        private per-runner cache (still shared across every scheme of the
+        runner's sweeps); pass an instance to pool several runners — or a
+        :class:`~repro.campaign.persistence.PersistentPenaltyCache` to stay
+        warm across processes.
+    """
 
     def __init__(self, networks: Sequence[str] = ("ethernet", "myrinet", "infiniband"),
-                 iterations: int = 3, num_hosts: int = 64) -> None:
+                 iterations: int = 3, num_hosts: int = 64,
+                 cache: Optional[PenaltyCache] = None) -> None:
         self.networks = tuple(networks)
         self.tools: Dict[str, PenaltyTool] = {
             name: PenaltyTool(name, iterations=iterations, num_hosts=num_hosts)
             for name in self.networks
         }
+        self.cache = cache if cache is not None else PenaltyCache()
+        #: model-evaluation / cache-traffic counters over every prediction
+        self.stats = EngineStats()
 
     def cost_model(self, network: str) -> LinearCostModel:
-        technology = get_technology(network)
-        return LinearCostModel(
-            latency=technology.latency,
-            bandwidth=technology.single_stream_bandwidth,
-            envelope=technology.mpi_envelope,
-        )
+        return LinearCostModel.for_technology(get_technology(network))
 
     def run_scheme(
         self,
@@ -97,7 +117,8 @@ class ExperimentRunner:
         model = model or model_for_network(network)
         measurement = tool.measure(graph)
         cost = self.cost_model(network)
-        prediction = model.predict(graph, cost)
+        prediction = cached_predict(model, graph, cost, cache=self.cache,
+                                    stats=self.stats)
         return SchemeResult(
             scheme_name=graph.name,
             network=network,

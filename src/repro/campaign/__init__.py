@@ -1,0 +1,35 @@
+"""Scenario-campaign orchestration: declarative sweeps, a parallel runner and
+a persistent cross-run penalty cache.
+
+The contention models are only useful at scale when many scenarios — schemes
+× networks × models × placements — can be priced cheaply.  This package
+turns the incremental engine of :mod:`repro.core.incremental` into an
+orchestration layer:
+
+* :class:`CampaignSpec` expands declarative sweeps into concrete scenarios;
+* :class:`CampaignRunner` executes them on a worker pool, deduplicating and
+  fanning out the cache-miss component evaluations;
+* :class:`PersistentPenaltyCache` keeps the memoized contention situations
+  warm across runs;
+* :class:`CampaignResultStore` collects the results for
+  :mod:`repro.analysis`, JSON and CSV consumers.
+
+Shell entry point: ``python -m repro campaign --spec campaign.json``.
+"""
+
+from .persistence import PersistentPenaltyCache, canonical_key
+from .results import CampaignResultStore, ScenarioResult
+from .runner import CampaignRunner, resolve_model
+from .spec import CampaignSpec, ScenarioSpec, WorkloadSpec
+
+__all__ = [
+    "CampaignSpec",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "CampaignRunner",
+    "resolve_model",
+    "PersistentPenaltyCache",
+    "canonical_key",
+    "CampaignResultStore",
+    "ScenarioResult",
+]

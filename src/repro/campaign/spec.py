@@ -1,0 +1,355 @@
+"""Declarative campaign specifications.
+
+A *campaign* prices many scenarios — workloads × networks × models × host
+counts × placement policies — in one orchestrated run.  The spec layer is
+purely declarative: :class:`CampaignSpec` holds the sweep axes (loadable from
+a plain dict or a JSON file, so campaigns can live next to the experiment
+they document), and :meth:`CampaignSpec.scenarios` expands the cartesian
+product into concrete, self-describing :class:`ScenarioSpec` rows that the
+runner executes.
+
+Two families of workloads are supported:
+
+* **graph workloads** (``kind="scheme"`` library schemes, ``kind="synthetic"``
+  generated graphs) produce a static :class:`~repro.core.graph.CommunicationGraph`
+  that is priced by a contention model — the post-barrier "every
+  communication starts together" situation of the paper's penalty tool;
+* **application workloads** (``kind="collective"``, ``kind="linpack"``)
+  produce an :class:`~repro.simulator.application.Application` that is run
+  through the predictive simulator on a cluster of ``num_hosts`` nodes under
+  a placement policy.
+
+Spec dict / JSON format::
+
+    {
+      "name": "ladder-sweep",
+      "workloads": [
+        {"kind": "scheme",    "name": "fig2-s4"},
+        {"kind": "synthetic", "name": "random-tree", "params": {"size": "4M"}},
+        {"kind": "collective","name": "broadcast",  "params": {"size": "1M"}},
+        {"kind": "linpack",   "name": "hpl",
+         "params": {"problem_size": 4000, "block_size": 200, "num_tasks": 8}}
+      ],
+      "networks": ["ethernet", "myrinet"],
+      "models": ["auto"],
+      "host_counts": [8, 16],
+      "placements": ["RRP", "RRN"],
+      "seeds": [0]
+    }
+
+``"auto"`` selects the paper's model for the scenario's network.  Axes that a
+workload does not consume are collapsed (library schemes ignore the host
+count, graph workloads ignore placements) so the expansion never produces
+duplicate scenarios.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..cluster.placement import PLACEMENT_POLICIES
+from ..core.graph import CommunicationGraph
+from ..exceptions import WorkloadError
+from ..scheme.library import get_scheme
+from ..simulator.application import Application
+from ..units import MB, parse_size
+from ..workloads import (
+    bipartite_fan_scheme,
+    broadcast_application,
+    complete_graph_scheme,
+    flat_gather,
+    generate_linpack,
+    hotspot_scheme,
+    pairwise_exchange_alltoall,
+    random_graph_scheme,
+    random_tree_scheme,
+    ring_allgather,
+)
+
+__all__ = ["WorkloadSpec", "ScenarioSpec", "CampaignSpec"]
+
+
+GRAPH_KINDS = ("scheme", "synthetic")
+APPLICATION_KINDS = ("collective", "linpack")
+
+SYNTHETIC_GENERATORS = ("random-tree", "complete", "random", "bipartite-fan", "hotspot")
+COLLECTIVE_PATTERNS = ("broadcast", "ring-allgather", "flat-gather", "alltoall")
+
+
+def _size_param(params: Dict[str, Any], default: int) -> int:
+    value = params.get("size", default)
+    if isinstance(value, str):
+        return parse_size(value)
+    return int(value)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One workload axis entry of a campaign."""
+
+    kind: str
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in GRAPH_KINDS + APPLICATION_KINDS:
+            raise WorkloadError(
+                f"unknown workload kind {self.kind!r}; known: "
+                f"{', '.join(GRAPH_KINDS + APPLICATION_KINDS)}"
+            )
+        if self.kind == "synthetic" and self.name not in SYNTHETIC_GENERATORS:
+            raise WorkloadError(
+                f"unknown synthetic generator {self.name!r}; known: "
+                f"{', '.join(SYNTHETIC_GENERATORS)}"
+            )
+        if self.kind == "collective" and self.name not in COLLECTIVE_PATTERNS:
+            raise WorkloadError(
+                f"unknown collective {self.name!r}; known: "
+                f"{', '.join(COLLECTIVE_PATTERNS)}"
+            )
+
+    @property
+    def is_application(self) -> bool:
+        return self.kind in APPLICATION_KINDS
+
+    @property
+    def uses_hosts(self) -> bool:
+        """Library schemes carry their own node set; everything else scales with hosts."""
+        return self.kind != "scheme"
+
+    @property
+    def uses_seed(self) -> bool:
+        return self.kind == "synthetic" or self.is_application
+
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {"kind": self.kind, "name": self.name}
+        if self.params:
+            data["params"] = self.param_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "WorkloadSpec":
+        if "kind" not in data or "name" not in data:
+            raise WorkloadError(f"workload entry {data!r} needs 'kind' and 'name'")
+        params = data.get("params", {})
+        if not isinstance(params, dict):
+            raise WorkloadError(f"workload params must be a mapping, got {params!r}")
+        return cls(
+            kind=str(data["kind"]),
+            name=str(data["name"]),
+            params=tuple(sorted(params.items())),
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One fully-resolved point of the sweep (pure data, picklable)."""
+
+    scenario_id: str
+    workload: WorkloadSpec
+    network: str
+    model: str
+    num_hosts: Optional[int]
+    placement: Optional[str]
+    seed: Optional[int]
+
+    @property
+    def is_application(self) -> bool:
+        return self.workload.is_application
+
+    def axes(self) -> Dict[str, Any]:
+        """The identifying coordinates, for result rows and exports."""
+        return {
+            "scenario_id": self.scenario_id,
+            "kind": self.workload.kind,
+            "workload": self.workload.name,
+            "network": self.network,
+            "model": self.model,
+            "num_hosts": self.num_hosts,
+            "placement": self.placement,
+            "seed": self.seed,
+        }
+
+    # ------------------------------------------------------------- builders
+    def build_graph(self) -> CommunicationGraph:
+        """Materialize a graph workload (deterministic given the spec)."""
+        workload = self.workload
+        params = workload.param_dict()
+        seed = 0 if self.seed is None else int(self.seed)
+        if workload.kind == "scheme":
+            size = params.get("size")
+            if isinstance(size, str):
+                size = parse_size(size)
+            return get_scheme(workload.name, size=size)
+        hosts = int(self.num_hosts or 0)
+        size = _size_param(params, 4 * MB)
+        if workload.name == "random-tree":
+            return random_tree_scheme(hosts, seed=seed, size=size)
+        if workload.name == "complete":
+            return complete_graph_scheme(hosts, seed=seed, size=size)
+        if workload.name == "random":
+            num_comms = int(params.get("num_communications", 2 * hosts))
+            return random_graph_scheme(hosts, num_comms, seed=seed, size=size)
+        if workload.name == "bipartite-fan":
+            senders = int(params.get("num_senders", hosts // 2))
+            receivers = int(params.get("num_receivers", hosts - hosts // 2))
+            density = float(params.get("density", 1.0))
+            return bipartite_fan_scheme(senders, receivers, seed=seed, size=size,
+                                        density=density)
+        if workload.name == "hotspot":
+            return hotspot_scheme(max(1, hosts - 1), size=size)
+        raise WorkloadError(f"unhandled synthetic generator {workload.name!r}")
+
+    def build_application(self) -> Application:
+        """Materialize an application workload."""
+        workload = self.workload
+        params = workload.param_dict()
+        num_tasks = int(params.get("num_tasks", self.num_hosts or 2))
+        if workload.kind == "linpack":
+            return generate_linpack(
+                problem_size=int(params.get("problem_size", 4000)),
+                block_size=int(params.get("block_size", 200)),
+                num_tasks=num_tasks,
+                panel_fraction=float(params.get("panel_fraction", 1.0)),
+            )
+        size = _size_param(params, 1 * MB)
+        if workload.name == "broadcast":
+            return broadcast_application(num_tasks, size,
+                                         root=int(params.get("root", 0)))
+        app = Application(num_tasks=num_tasks,
+                          name=f"{workload.name}-{num_tasks}")
+        if workload.name == "ring-allgather":
+            return ring_allgather(app, size)
+        if workload.name == "flat-gather":
+            return flat_gather(app, root=int(params.get("root", 0)), size=size)
+        if workload.name == "alltoall":
+            return pairwise_exchange_alltoall(app, size)
+        raise WorkloadError(f"unhandled collective {workload.name!r}")
+
+
+@dataclass
+class CampaignSpec:
+    """The sweep axes of a campaign."""
+
+    name: str
+    workloads: List[WorkloadSpec]
+    networks: List[str] = field(default_factory=lambda: ["ethernet"])
+    models: List[str] = field(default_factory=lambda: ["auto"])
+    host_counts: List[int] = field(default_factory=lambda: [16])
+    placements: List[str] = field(default_factory=lambda: ["RRP"])
+    seeds: List[int] = field(default_factory=lambda: [0])
+    cores_per_node: int = 2
+
+    def __post_init__(self) -> None:
+        if not self.workloads:
+            raise WorkloadError(f"campaign {self.name!r} has no workloads")
+        for axis_name in ("networks", "models", "host_counts", "placements", "seeds"):
+            if not getattr(self, axis_name):
+                raise WorkloadError(f"campaign {self.name!r} has an empty {axis_name} axis")
+        for placement in self.placements:
+            if placement.lower() not in PLACEMENT_POLICIES:
+                raise WorkloadError(
+                    f"unknown placement policy {placement!r}; known: "
+                    f"{', '.join(sorted(PLACEMENT_POLICIES))}"
+                )
+        if self.cores_per_node < 1:
+            raise WorkloadError(f"cores_per_node must be >= 1, got {self.cores_per_node}")
+
+    # ----------------------------------------------------------- expansion
+    def scenarios(self) -> List[ScenarioSpec]:
+        """Deterministic cartesian expansion of the sweep axes.
+
+        Axes a workload does not consume are collapsed to a single ``None``
+        value so the expansion stays duplicate-free.
+        """
+        scenarios: List[ScenarioSpec] = []
+        for workload in self.workloads:
+            hosts_axis: Sequence[Optional[int]] = (
+                self.host_counts if workload.uses_hosts else [None]
+            )
+            placement_axis: Sequence[Optional[str]] = (
+                self.placements if workload.is_application else [None]
+            )
+            seed_axis: Sequence[Optional[int]] = (
+                self.seeds if workload.uses_seed else [None]
+            )
+            for network in self.networks:
+                for model in self.models:
+                    for hosts in hosts_axis:
+                        for placement in placement_axis:
+                            for seed in seed_axis:
+                                parts = [f"{len(scenarios):03d}", workload.name,
+                                         network, model]
+                                if hosts is not None:
+                                    parts.append(f"h{hosts}")
+                                if placement is not None:
+                                    parts.append(placement)
+                                if seed is not None:
+                                    parts.append(f"s{seed}")
+                                scenarios.append(ScenarioSpec(
+                                    scenario_id="-".join(parts),
+                                    workload=workload,
+                                    network=network,
+                                    model=model,
+                                    num_hosts=hosts,
+                                    placement=placement,
+                                    seed=seed,
+                                ))
+        return scenarios
+
+    def __len__(self) -> int:
+        return len(self.scenarios())
+
+    # ------------------------------------------------------------- loaders
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "workloads": [w.to_dict() for w in self.workloads],
+            "networks": list(self.networks),
+            "models": list(self.models),
+            "host_counts": list(self.host_counts),
+            "placements": list(self.placements),
+            "seeds": list(self.seeds),
+            "cores_per_node": self.cores_per_node,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "CampaignSpec":
+        if not isinstance(data, dict):
+            raise WorkloadError(f"campaign spec must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - {
+            "name", "workloads", "networks", "models", "host_counts",
+            "placements", "seeds", "cores_per_node",
+        }
+        if unknown:
+            raise WorkloadError(f"unknown campaign spec keys: {sorted(unknown)}")
+        workloads = [WorkloadSpec.from_dict(w) for w in data.get("workloads", [])]
+        kwargs: Dict[str, Any] = {}
+        for axis in ("networks", "models", "placements"):
+            if axis in data:
+                kwargs[axis] = [str(v) for v in data[axis]]
+        if "host_counts" in data:
+            kwargs["host_counts"] = [int(v) for v in data["host_counts"]]
+        if "seeds" in data:
+            kwargs["seeds"] = [int(v) for v in data["seeds"]]
+        if "cores_per_node" in data:
+            kwargs["cores_per_node"] = int(data["cores_per_node"])
+        return cls(name=str(data.get("name", "campaign")), workloads=workloads, **kwargs)
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "CampaignSpec":
+        """Load a spec from a JSON file (the ``repro campaign --spec`` input)."""
+        try:
+            data = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise WorkloadError(f"cannot read campaign spec {str(path)!r}: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n", encoding="utf-8")

@@ -7,13 +7,18 @@ Gives shell access to the three everyday operations of the library:
 * ``measure`` — measure a scheme on the calibrated cluster emulator (the
   paper's penalty tool);
 * ``calibrate`` — run the §V.A calibration protocol against an emulated card
-  and print the estimated (β, γo, γi).
+  and print the estimated (β, γo, γi);
+* ``campaign`` — expand a declarative JSON campaign spec (sweeps over
+  workloads × networks × models × host counts × placements, see
+  :mod:`repro.campaign.spec`) and execute every scenario on a worker pool
+  with a shared — optionally disk-persistent — penalty cache.
 
 Examples::
 
     python -m repro predict --model myrinet --scheme "0->1 0->2 0->3"
     python -m repro measure --network ethernet --scheme-file conflict.scm
     python -m repro calibrate --network ethernet
+    python -m repro campaign --spec sweep.json --workers 4 --cache penalties.json
 """
 
 from __future__ import annotations
@@ -25,6 +30,7 @@ from typing import Optional, Sequence
 
 from .analysis import render_table
 from .benchmark import PenaltyTool
+from .campaign import CampaignRunner, CampaignSpec, PersistentPenaltyCache
 from .core import LinearCostModel, calibrate_from_measurer, get_model, model_for_network
 from .core.graph import CommunicationGraph
 from .exceptions import ReproError
@@ -48,12 +54,7 @@ def _load_scheme(args: argparse.Namespace) -> CommunicationGraph:
 
 
 def _cost_model(network: str) -> LinearCostModel:
-    technology = get_technology(network)
-    return LinearCostModel(
-        latency=technology.latency,
-        bandwidth=technology.single_stream_bandwidth,
-        envelope=technology.mpi_envelope,
-    )
+    return LinearCostModel.for_technology(get_technology(network))
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
@@ -78,6 +79,38 @@ def cmd_measure(args: argparse.Namespace) -> int:
     tool = PenaltyTool(args.network, iterations=args.iterations, num_hosts=args.hosts)
     measurement = tool.measure(graph)
     print(measurement.table())
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    spec = CampaignSpec.from_json(args.spec)
+    cache = None
+    if args.cache:
+        cache = PersistentPenaltyCache.load(args.cache)
+        if cache.load_error:
+            print(f"warning: starting with an empty cache ({cache.load_error})",
+                  file=sys.stderr)
+        elif cache.loaded_entries:
+            print(f"penalty cache: {cache.loaded_entries} entries from {args.cache}")
+    runner = CampaignRunner(spec, cache=cache, max_workers=args.workers,
+                            backend=args.backend)
+    store = runner.run()
+    print(store.summary_table())
+    stats = store.stats
+    print(
+        f"\n{len(store)} scenarios | model evaluations: "
+        f"{stats['comm_evaluations']} (components: {stats['component_evaluations']}) | "
+        f"cache hits: {stats['cache_hits']}  misses: {stats['cache_misses']}"
+    )
+    if args.cache:
+        saved = cache.save(args.cache)
+        print(f"penalty cache: {saved} entries saved to {args.cache}")
+    if args.out:
+        store.to_json(args.out)
+        print(f"results written to {args.out}")
+    if args.csv:
+        store.to_csv(args.csv)
+        print(f"CSV rows written to {args.csv}")
     return 0
 
 
@@ -116,6 +149,25 @@ def build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--iterations", type=int, default=3)
     measure.add_argument("--hosts", type=int, default=32)
     measure.set_defaults(handler=cmd_measure)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a scenario campaign from a JSON spec (parallel, cached)",
+    )
+    campaign.add_argument("--spec", required=True,
+                          help="path to the campaign spec (JSON)")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker pool width (1 = serial)")
+    campaign.add_argument("--backend", choices=["serial", "thread", "process"],
+                          default="thread",
+                          help="worker pool kind when --workers > 1")
+    campaign.add_argument("--cache", default=None,
+                          help="persistent penalty-cache file (created when missing)")
+    campaign.add_argument("--out", default=None,
+                          help="write the full results as JSON to this path")
+    campaign.add_argument("--csv", default=None,
+                          help="write summary rows as CSV to this path")
+    campaign.set_defaults(handler=cmd_campaign)
 
     calibrate = sub.add_parser("calibrate", help="estimate (beta, gamma_o, gamma_i)")
     calibrate.add_argument("--network", default="ethernet")

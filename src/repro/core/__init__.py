@@ -32,7 +32,13 @@ from .conflicts import (
 )
 from .ethernet_model import EthernetParameters, GigabitEthernetModel
 from .graph import Communication, CommunicationGraph, ConflictRule
-from .incremental import EngineStats, IncrementalPenaltyEngine, PenaltyCache
+from .incremental import (
+    EngineStats,
+    IncrementalPenaltyEngine,
+    PenaltyCache,
+    cached_penalties,
+    cached_predict,
+)
 from .infiniband_model import InfinibandModel, InfinibandParameters
 from .myrinet_model import MyrinetModel, StateSetAnalysis, maximal_independent_sets
 from .penalty import ContentionModel, LinearCostModel, PenaltyPrediction
@@ -59,6 +65,8 @@ __all__ = [
     "EngineStats",
     "IncrementalPenaltyEngine",
     "PenaltyCache",
+    "cached_penalties",
+    "cached_predict",
     "EthernetParameters",
     "GigabitEthernetModel",
     "MyrinetModel",

@@ -35,15 +35,22 @@ full recomputation (property-tested in
 from __future__ import annotations
 
 import itertools
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Optional, Set, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
 from ..exceptions import GraphError
 from .graph import Communication, CommunicationGraph
-from .penalty import ContentionModel
+from .penalty import ContentionModel, LinearCostModel, PenaltyPrediction
 
-__all__ = ["EngineStats", "PenaltyCache", "IncrementalPenaltyEngine"]
+__all__ = [
+    "EngineStats",
+    "PenaltyCache",
+    "IncrementalPenaltyEngine",
+    "cached_penalties",
+    "cached_predict",
+]
 
 
 @dataclass
@@ -83,6 +90,10 @@ class PenaltyCache:
     automorphic, hence share a penalty, so the endpoint pair identifies the
     penalty unambiguously; :meth:`store` verifies this and refuses to cache a
     component for which a model violates it.
+
+    The cache is thread-safe: the campaign runner shares one instance across
+    a pool of scenario workers, and the simulator providers of those workers
+    hit it concurrently.
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
@@ -90,15 +101,18 @@ class PenaltyCache:
             raise GraphError(f"max_entries must be non-negative, got {max_entries}")
         self.max_entries = max_entries
         self._entries: "OrderedDict[Hashable, Dict[Tuple[int, int], float]]" = OrderedDict()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: Hashable) -> Optional[Dict[Tuple[int, int], float]]:
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
 
     def store(
         self,
@@ -115,13 +129,31 @@ class PenaltyCache:
             if pair in mapping and mapping[pair] != penalty:
                 return  # model broke endpoint symmetry: not memoizable
             mapping[pair] = penalty
-        self._entries[key] = mapping
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
+        self.put(key, mapping)
+
+    def put(self, key: Hashable, mapping: Dict[Tuple[int, int], float]) -> None:
+        """Insert an already-validated ``(src_rank, dst_rank) -> penalty`` entry.
+
+        Used by the persistence layer and by the campaign runner to merge
+        entries computed by worker processes; :meth:`store` remains the
+        validating path for fresh model evaluations.
+        """
+        if self.max_entries == 0:
+            return
+        with self._lock:
+            self._entries[key] = mapping
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def items(self) -> List[Tuple[Hashable, Dict[Tuple[int, int], float]]]:
+        """Snapshot of every entry in LRU order (oldest first)."""
+        with self._lock:
+            return [(key, dict(mapping)) for key, mapping in self._entries.items()]
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
 
 class IncrementalPenaltyEngine:
@@ -140,6 +172,16 @@ class IncrementalPenaltyEngine:
         engines to share memoized situations across simulations.  ``None``
         creates a private cache when the model is structural, and disables
         memoization otherwise.
+    map_fn:
+        Optional ``map``-compatible callable (e.g. the ``map`` method of a
+        :class:`concurrent.futures.Executor`).  When set, the cache-miss
+        component evaluations of one :meth:`penalties` call are fanned out
+        through it — dirty conflict components are independent by
+        construction, so the results are identical to serial evaluation.
+        Two isomorphic components dirtied in the same batch are then both
+        evaluated (serially the second is a cache hit), so the work counters
+        may differ from the serial ones even though the penalties are
+        bit-exact.
     """
 
     def __init__(
@@ -147,8 +189,10 @@ class IncrementalPenaltyEngine:
         model: ContentionModel,
         cache: Optional[PenaltyCache] = None,
         name: str = "in-flight",
+        map_fn: Optional[Callable] = None,
     ) -> None:
         self.model = model
+        self.map_fn = map_fn
         self.rule = model.component_rule
         if cache is None and model.structural_penalties:
             cache = PenaltyCache()
@@ -266,6 +310,8 @@ class IncrementalPenaltyEngine:
 
         Re-evaluates only the components dirtied since the last call.
         """
+        if self.map_fn is not None and self.rule is not None:
+            return self._penalties_parallel()
         for comp_id in sorted(self._dirty):
             names = sorted(self._members[comp_id])
             if self.cache is not None:
@@ -291,6 +337,50 @@ class IncrementalPenaltyEngine:
         self._dirty.clear()
         return dict(self._penalties)
 
+    def _penalties_parallel(self) -> Dict[str, float]:
+        """Batch variant of :meth:`penalties` that fans misses out via ``map_fn``."""
+        hits: List[Tuple[List[str], Dict[Tuple[int, int], float], Dict[str, Tuple[int, int]]]] = []
+        pending: List[Tuple[List[str], Optional[Hashable], Optional[Dict[str, Tuple[int, int]]]]] = []
+        for comp_id in sorted(self._dirty):
+            names = sorted(self._members[comp_id])
+            if self.cache is not None:
+                component_key, endpoint_ranks = self.graph.canonical_component(names)
+                key = (self._model_key, component_key)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    hits.append((names, cached, endpoint_ranks))
+                    continue
+                pending.append((names, key, endpoint_ranks))
+            else:
+                pending.append((names, None, None))
+        if len(pending) > 1:
+            jobs = [
+                (self.model, self.graph.subgraph(names), tuple(names))
+                for names, _, _ in pending
+            ]
+            evaluations = list(self.map_fn(_evaluate_component, jobs))
+        else:  # nothing to parallelize: skip the pool round-trip
+            evaluations = [
+                self.model.component_penalties(self.graph, names)
+                for names, _, _ in pending
+            ]
+        # commit phase — no engine state (stats, cache, dirty set) was touched
+        # above, so a pool failure leaves a clean retry
+        for names, cached, endpoint_ranks in hits:
+            self.stats.cache_hits += 1
+            for name in names:
+                self._penalties[name] = cached[endpoint_ranks[name]]
+        for (names, key, endpoint_ranks), evaluated in zip(pending, evaluations):
+            self.stats.component_evaluations += 1
+            self.stats.comm_evaluations += len(names)
+            if key is not None and self.cache is not None:
+                self.stats.cache_misses += 1
+                self.cache.store(key, endpoint_ranks, evaluated)
+            for name in names:
+                self._penalties[name] = evaluated[name]
+        self._dirty.clear()
+        return dict(self._penalties)
+
     # ------------------------------------------------------------------ misc
     @property
     def components(self) -> List[Tuple[str, ...]]:
@@ -311,3 +401,110 @@ class IncrementalPenaltyEngine:
             f"<IncrementalPenaltyEngine model={self.model.name!r} "
             f"comms={len(self.graph)} components={len(self._members)}>"
         )
+
+
+def _evaluate_component(job: Tuple[ContentionModel, CommunicationGraph, Tuple[str, ...]]) -> Dict[str, float]:
+    """Evaluate one conflict component (module-level so process pools can pickle it).
+
+    ``job`` is ``(model, component_subgraph, names)``; for a component-local
+    model, pricing the component's subgraph is exactly equivalent to pricing
+    it inside the full graph.
+    """
+    model, graph, names = job
+    return model.component_penalties(graph, list(names))
+
+
+def cached_penalties(
+    model: ContentionModel,
+    graph: CommunicationGraph,
+    cache: Optional[PenaltyCache] = None,
+    map_fn: Optional[Callable] = None,
+    stats: Optional[EngineStats] = None,
+) -> Dict[str, float]:
+    """Penalties of a static graph through the component/cache machinery.
+
+    One-shot counterpart of :class:`IncrementalPenaltyEngine` for callers
+    holding a fixed :class:`CommunicationGraph` (experiment sweeps, campaign
+    scenarios): the graph is partitioned into conflict components under the
+    model's rule, isomorphic components are served from ``cache``, and the
+    cache misses are evaluated — in parallel through ``map_fn`` when given.
+    Bit-exact with ``model.penalties(graph)`` for every shipped model
+    (component locality and snapshot replay are both exact).
+    """
+    if stats is None:
+        stats = EngineStats()
+    stats.events += 1
+    result: Dict[str, float] = {}
+    inter_names: List[str] = []
+    for comm in graph:
+        if comm.is_intra_node:
+            result[comm.name] = 1.0
+        else:
+            inter_names.append(comm.name)
+    if not inter_names:
+        return result
+    rule = model.component_rule
+    if rule is None:
+        components = [tuple(sorted(inter_names))]
+    else:
+        components = graph.conflict_components(rule)
+    use_cache = cache is not None and model.structural_penalties
+    model_key = model.memo_key() if use_cache else None
+    pending: List[Tuple[Tuple[str, ...], Optional[Hashable], Optional[Dict[str, Tuple[int, int]]]]] = []
+    for names in components:
+        if use_cache:
+            component_key, endpoint_ranks = graph.canonical_component(names)
+            key = (model_key, component_key)
+            cached = cache.get(key)
+            if cached is not None:
+                stats.cache_hits += 1
+                for name in names:
+                    result[name] = cached[endpoint_ranks[name]]
+                continue
+            stats.cache_misses += 1
+            pending.append((names, key, endpoint_ranks))
+        else:
+            pending.append((names, None, None))
+    if pending:
+        if map_fn is not None and rule is not None and len(pending) > 1:
+            jobs = [(model, graph.subgraph(names), tuple(names)) for names, _, _ in pending]
+            evaluations = list(map_fn(_evaluate_component, jobs))
+        else:
+            evaluations = [model.component_penalties(graph, list(names)) for names, _, _ in pending]
+        for (names, key, endpoint_ranks), evaluated in zip(pending, evaluations):
+            stats.component_evaluations += 1
+            stats.comm_evaluations += len(names)
+            if key is not None and cache is not None:
+                cache.store(key, endpoint_ranks, evaluated)
+            for name in names:
+                result[name] = evaluated[name]
+    # graph insertion order, so aggregates summed over the dict do not depend
+    # on the hit/miss pattern (floating-point addition is order-sensitive)
+    return {comm.name: result[comm.name] for comm in graph}
+
+
+def cached_predict(
+    model: ContentionModel,
+    graph: CommunicationGraph,
+    cost_model: Optional[LinearCostModel] = None,
+    cache: Optional[PenaltyCache] = None,
+    map_fn: Optional[Callable] = None,
+    stats: Optional[EngineStats] = None,
+) -> PenaltyPrediction:
+    """Cache-aware counterpart of :meth:`ContentionModel.predict`.
+
+    Identical penalties and times; the per-communication ``details``
+    diagnostics are skipped (they bypass the component cache and none of the
+    sweep consumers read them).
+    """
+    pens = cached_penalties(model, graph, cache=cache, map_fn=map_fn, stats=stats)
+    times: Dict[str, float] = {}
+    if cost_model is not None:
+        for comm in graph:
+            times[comm.name] = pens[comm.name] * cost_model.time(comm.size)
+    return PenaltyPrediction(
+        model_name=model.name,
+        graph_name=graph.name,
+        penalties=pens,
+        times=times,
+    )

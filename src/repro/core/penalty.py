@@ -67,6 +67,20 @@ class LinearCostModel:
         if self.envelope < 0:
             raise ModelError(f"envelope must be non-negative, got {self.envelope}")
 
+    @classmethod
+    def for_technology(cls, technology) -> "LinearCostModel":
+        """Cost model of a :class:`~repro.network.technologies.NetworkTechnology`.
+
+        The single construction used by the CLI, the experiment runner and
+        the campaign runner, so the technology → (latency, bandwidth,
+        envelope) mapping lives in one place.
+        """
+        return cls(
+            latency=technology.latency,
+            bandwidth=technology.single_stream_bandwidth,
+            envelope=technology.mpi_envelope,
+        )
+
     def time(self, size: int) -> float:
         """Reference (uncontended) duration of a ``size``-byte message."""
         if size < 0:

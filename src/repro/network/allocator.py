@@ -25,20 +25,32 @@ With the shipped calibration the allocator reproduces the penalty ladder the
 paper measured on its three clusters (Figure 2) to within a few percent; see
 ``benchmarks/bench_fig2_penalty_ladder.py`` and ``EXPERIMENTS.md``.
 
-Like the model-side provider, the allocator memoizes its max-min solutions:
-the rate vector only depends on the multiset of ``(src, dst)`` endpoint
-pairs of the active transfers (sizes and transfer ids never enter the
-allocation, and same-endpoint flows receive equal rates in the unique
-max-min solution), so repeated sharing situations — ubiquitous in iterative
-workloads — are dictionary lookups instead of solver runs.
+Like the model-side provider, the allocator memoizes its max-min solutions
+in a :class:`~repro.core.incremental.PenaltyCache` (the same LRU-with-
+symmetry-check mechanism the contention models use, namespaced by technology
+and topology so a cache may be shared across providers): the rate vector
+only depends on the multiset of ``(src, dst)`` endpoint pairs of the active
+transfers (sizes and transfer ids never enter the allocation, and
+same-endpoint flows receive equal rates in the unique max-min solution), so
+repeated sharing situations — ubiquitous in iterative workloads — are
+dictionary lookups instead of solver runs.
+
+On a cache miss the water-filling is additionally *warm-started*: when
+exactly one flow arrived or departed since the previous allocation, only the
+coupling component of the changed flow (flows transitively sharing an
+endpoint host or a fabric link with it) is re-solved and every other flow
+keeps its previous rate.  Max-min allocations decompose exactly over
+coupling components — the income/outgo capacity degradations and duplex caps
+only couple flows through shared hosts — so the warm-started rates equal a
+full re-solve up to floating-point summation order.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..core.incremental import PenaltyCache
 from ..exceptions import SimulationError
 from .fluid import Transfer
 from .sharing import FlowSpec, max_min_allocation
@@ -56,27 +68,67 @@ class EmulatorRateProvider:
     technology, topology, num_hosts:
         The emulated interconnect and its wiring (crossbar by default).
     cache_size:
-        Number of memoized sharing situations (0 disables memoization).
-        Call :meth:`invalidate_cache` after mutating the topology or the
+        Number of memoized sharing situations in the private cache
+        (0 disables memoization).  Ignored when ``cache`` is given — a
+        shared cache arrives with its own capacity.  Call
+        :meth:`invalidate_cache` after mutating the topology or the
         technology in place.
+    cache:
+        Optional shared :class:`~repro.core.incremental.PenaltyCache`;
+        entries are namespaced by technology and topology, so providers of
+        one sweep can pool their memoized allocations.  Takes precedence
+        over ``cache_size``.
+    warm_start:
+        Re-solve only the changed flow's coupling component when exactly one
+        flow arrived/departed (see the module docstring); pass ``False`` to
+        force a full water-filling on every miss.
     """
 
     def __init__(self, technology: NetworkTechnology, topology: Topology | None = None,
-                 num_hosts: int = 64, cache_size: int = 4096) -> None:
+                 num_hosts: int = 64, cache_size: int = 4096,
+                 cache: Optional[PenaltyCache] = None,
+                 warm_start: bool = True) -> None:
         self.technology = technology
         self.topology = topology or CrossbarTopology(num_hosts=num_hosts, technology=technology)
         if self.topology.technology is not technology:
             # keep the two consistent; the topology carries link capacities
             self.topology.technology = technology
         self.cache_size = int(cache_size)
-        #: situation key -> (src, dst) pair -> rate
-        self._rate_cache: "OrderedDict[Tuple[Tuple[int, int], ...], Dict[Tuple[int, int], float]]" = OrderedDict()
+        self._owns_cache = cache is None
+        self._rate_cache = cache if cache is not None else PenaltyCache(
+            max_entries=max(0, self.cache_size)
+        )
+        # the epoch scopes this provider's entries; bumping it on
+        # invalidation retires them without touching a shared cache
+        self._epoch = 0
+        self._rebuild_namespace()
         self.cache_hits = 0
         self.cache_misses = 0
+        self.warm_start = bool(warm_start)
+        self.warm_starts = 0
+        #: previous allocation, for the warm-start delta path
+        self._last_pairs: Optional[Dict[Hashable, Tuple[int, int]]] = None
+        self._last_rates: Dict[Hashable, float] = {}
+
+    def _rebuild_namespace(self) -> None:
+        self._namespace = (
+            "emulator-rates", self._epoch, self.technology, self.topology.memo_key()
+        )
 
     def invalidate_cache(self) -> None:
-        """Drop memoized allocations (required after in-place reconfiguration)."""
-        self._rate_cache.clear()
+        """Drop memoized allocations (required after in-place reconfiguration).
+
+        A private cache is cleared outright; on a shared cache only this
+        provider's entries are retired (by bumping the namespace epoch), so
+        other providers pooling the cache keep their valid entries.  The
+        warm-start state is dropped either way.
+        """
+        self._epoch += 1
+        self._rebuild_namespace()
+        if self._owns_cache:
+            self._rate_cache.clear()
+        self._last_pairs = None
+        self._last_rates = {}
 
     # ---------------------------------------------------------------- helpers
     def _directional_counts(self, active: Sequence[Transfer]) -> Dict[int, Dict[str, int]]:
@@ -135,8 +187,8 @@ class EmulatorRateProvider:
         return specs
 
     # -------------------------------------------------------------- interface
-    def _situation_key(self, active: Sequence[Transfer]) -> Tuple[Tuple[int, int], ...]:
-        return tuple(sorted((t.src, t.dst) for t in active))
+    def _situation_key(self, active: Sequence[Transfer]) -> Hashable:
+        return (self._namespace, tuple(sorted((t.src, t.dst) for t in active)))
 
     def _solve(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
         counts = self._directional_counts(active)
@@ -144,38 +196,109 @@ class EmulatorRateProvider:
         specs = self._flow_specs(active, counts)
         return max_min_allocation(specs, capacities)
 
+    # ------------------------------------------------------------ warm start
+    def _coupling_keys(self, src: int, dst: int) -> Tuple[Hashable, ...]:
+        """Opaque keys through which a flow couples with other flows.
+
+        Two flows interact (directly or through the income/outgo capacity
+        degradations) only when they share one of these keys, so connected
+        components of key co-occupancy partition the max-min allocation.
+        """
+        if src == dst:
+            return (("mem", src),)
+        keys: List[Hashable] = [("host", src), ("host", dst)]
+        keys.extend(("link", r) for r in self.topology.fabric_route(src, dst))
+        return tuple(keys)
+
+    def _coupled_component(
+        self, active: Sequence[Transfer], changed_pair: Tuple[int, int]
+    ) -> Set[Hashable]:
+        """Ids of the active flows transitively coupled with ``changed_pair``."""
+        by_key: Dict[Hashable, List[Transfer]] = {}
+        for transfer in active:
+            for key in self._coupling_keys(transfer.src, transfer.dst):
+                by_key.setdefault(key, []).append(transfer)
+        component: Set[Hashable] = set()
+        seen_keys: Set[Hashable] = set()
+        frontier: List[Hashable] = list(self._coupling_keys(*changed_pair))
+        while frontier:
+            key = frontier.pop()
+            if key in seen_keys:
+                continue
+            seen_keys.add(key)
+            for transfer in by_key.get(key, ()):
+                if transfer.transfer_id not in component:
+                    component.add(transfer.transfer_id)
+                    frontier.extend(self._coupling_keys(transfer.src, transfer.dst))
+        return component
+
+    def _solve_incremental(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
+        """Full solve, or a component-scoped re-solve after a one-flow delta."""
+        previous = self._last_pairs
+        if not self.warm_start or previous is None:
+            return self._solve(active)
+        current: Dict[Hashable, Tuple[int, int]] = {}
+        changed: List[Tuple[int, int]] = []
+        for transfer in active:
+            pair = (transfer.src, transfer.dst)
+            current[transfer.transfer_id] = pair
+            known = previous.get(transfer.transfer_id)
+            if known is None:
+                changed.append(pair)
+            elif known != pair:
+                return self._solve(active)  # transfer id re-used with new endpoints
+        changed.extend(pair for tid, pair in previous.items() if tid not in current)
+        if len(changed) != 1 or len(current) != len(active):
+            return self._solve(active)
+        component = self._coupled_component(active, changed[0])
+        rates: Dict[Hashable, float] = {}
+        for transfer in active:
+            if transfer.transfer_id in component:
+                continue
+            rate = self._last_rates.get(transfer.transfer_id)
+            if rate is None:  # bookkeeping gap: fall back to the exact path
+                return self._solve(active)
+            rates[transfer.transfer_id] = rate
+        scoped = [t for t in active if t.transfer_id in component]
+        if scoped:
+            rates.update(self._solve(scoped))
+        self.warm_starts += 1
+        return rates
+
+    def _remember(self, active: Sequence[Transfer], rates: Mapping[Hashable, float]) -> None:
+        self._last_pairs = {t.transfer_id: (t.src, t.dst) for t in active}
+        self._last_rates = {t.transfer_id: rates[t.transfer_id] for t in active}
+
     def rates(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
         """Instantaneous rate of every active transfer, in bytes per second."""
         if not active:
+            self._remember((), {})
             return {}
         for transfer in active:
             self.topology.check_host(transfer.src)
             self.topology.check_host(transfer.dst)
-        if self.cache_size <= 0:
-            return self._solve(active)
 
         key = self._situation_key(active)
         cached = self._rate_cache.get(key)
         if cached is not None:
-            self._rate_cache.move_to_end(key)
             self.cache_hits += 1
-            return {t.transfer_id: cached[(t.src, t.dst)] for t in active}
+            rates = {t.transfer_id: cached[(t.src, t.dst)] for t in active}
+            self._remember(active, rates)
+            return rates
 
         self.cache_misses += 1
-        rates = self._solve(active)
+        rates = self._solve_incremental(active)
         by_pair: Optional[Dict[Tuple[int, int], float]] = {}
         for transfer in active:
             pair = (transfer.src, transfer.dst)
             rate = rates[transfer.transfer_id]
-            if by_pair is not None:
-                if pair in by_pair and by_pair[pair] != rate:
-                    by_pair = None  # solver broke same-endpoint symmetry
-                else:
-                    by_pair[pair] = rate
+            if pair in by_pair and by_pair[pair] != rate:
+                by_pair = None  # solver broke same-endpoint symmetry
+                break
+            by_pair[pair] = rate
         if by_pair is not None:
-            self._rate_cache[key] = by_pair
-            while len(self._rate_cache) > self.cache_size:
-                self._rate_cache.popitem(last=False)
+            self._rate_cache.put(key, by_pair)
+        self._remember(active, rates)
         return rates
 
     # ------------------------------------------------------------- penalties

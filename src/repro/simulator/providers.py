@@ -55,8 +55,13 @@ class ModelRateProvider:
         benchmarking).
     cache:
         Optional shared :class:`~repro.core.incremental.PenaltyCache`; lets
-        several providers (e.g. one per simulated run) reuse each other's
+        several providers (e.g. one per simulated run, or every scenario of
+        a :class:`~repro.campaign.runner.CampaignRunner`) reuse each other's
         memoized contention situations.
+    map_fn:
+        Optional ``map``-compatible callable handed to the incremental
+        engine; cache-miss component evaluations of one ``rates`` call are
+        fanned out through it (bit-exact with serial evaluation).
     """
 
     def __init__(
@@ -65,6 +70,7 @@ class ModelRateProvider:
         technology: NetworkTechnology | str,
         incremental: bool = True,
         cache: PenaltyCache | None = None,
+        map_fn=None,
     ) -> None:
         if isinstance(technology, str):
             technology = get_technology(technology)
@@ -72,7 +78,8 @@ class ModelRateProvider:
         self.technology = technology
         self.incremental = bool(incremental)
         self._engine: IncrementalPenaltyEngine | None = (
-            IncrementalPenaltyEngine(model, cache=cache) if self.incremental else None
+            IncrementalPenaltyEngine(model, cache=cache, map_fn=map_fn)
+            if self.incremental else None
         )
         # in full-recompute mode the stats only count communication
         # evaluations, so both modes report the same work metric

@@ -1,0 +1,142 @@
+"""Persistence tests: save → reload → identical hits, corruption tolerance."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec, PersistentPenaltyCache
+from repro.campaign.persistence import canonical_key
+from repro.core import GigabitEthernetModel, MyrinetModel
+from repro.core.incremental import IncrementalPenaltyEngine
+from repro.exceptions import GraphError
+from repro.workloads import random_graph_scheme
+
+
+def small_campaign() -> CampaignSpec:
+    return CampaignSpec.from_dict({
+        "name": "cache-roundtrip",
+        "workloads": [
+            {"kind": "synthetic", "name": "random-tree"},
+            {"kind": "synthetic", "name": "random"},
+        ],
+        "networks": ["ethernet", "myrinet"],
+        "host_counts": [8],
+        "seeds": [0, 1],
+    })
+
+
+class TestCanonicalKey:
+    def test_stable_across_model_instances(self):
+        key_a = canonical_key((MyrinetModel().memo_key(), ((0, 1), (0, 2))))
+        key_b = canonical_key((MyrinetModel().memo_key(), ((0, 1), (0, 2))))
+        assert key_a == key_b
+
+    def test_distinguishes_models_and_snapshots(self):
+        snapshot = ((0, 1), (0, 2))
+        assert canonical_key((MyrinetModel().memo_key(), snapshot)) != \
+            canonical_key((GigabitEthernetModel().memo_key(), snapshot))
+        assert canonical_key((MyrinetModel().memo_key(), ((0, 1),))) != \
+            canonical_key((MyrinetModel().memo_key(), snapshot))
+
+    def test_type_tagging_keeps_scalars_apart(self):
+        assert canonical_key((1,)) != canonical_key((1.0,))
+        assert canonical_key((1,)) != canonical_key((True,))
+        assert canonical_key(("1",)) != canonical_key((1,))
+
+    def test_rejects_unserialisable_components(self):
+        with pytest.raises(GraphError):
+            canonical_key((object(),))
+
+
+class TestRoundtrip:
+    def test_reload_serves_identical_hits(self, tmp_path):
+        path = tmp_path / "cache.json"
+        model = MyrinetModel()
+        graph = random_graph_scheme(10, 14, seed=3)
+
+        cache = PersistentPenaltyCache(path)
+        engine = IncrementalPenaltyEngine(model, cache=cache)
+        expected = engine.update(graph.communications)
+        assert cache.save() == len(cache) > 0
+
+        reloaded = PersistentPenaltyCache.load(path)
+        assert reloaded.load_error is None
+        assert reloaded.loaded_entries == len(cache)
+        warm = IncrementalPenaltyEngine(model, cache=reloaded)
+        replayed = warm.update(graph.communications)
+        assert replayed == expected          # bit-exact, not approx
+        assert warm.stats.cache_misses == 0
+        assert warm.stats.comm_evaluations == 0
+
+    def test_campaign_second_run_is_all_hits(self, tmp_path):
+        path = tmp_path / "cache.json"
+        spec = small_campaign()
+
+        cold_cache = PersistentPenaltyCache.load(path)
+        cold = CampaignRunner(spec, cache=cold_cache).run()
+        assert cold.stats["comm_evaluations"] > 0
+        cold_cache.save()
+
+        warm_cache = PersistentPenaltyCache.load(path)
+        warm = CampaignRunner(spec, cache=warm_cache).run()
+        assert warm.stats["comm_evaluations"] == 0
+        assert warm.stats["cache_misses"] == 0
+        assert [r.to_dict() for r in warm.results] == \
+            [r.to_dict() for r in cold.results]
+
+    def test_lru_order_and_values_survive(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = PersistentPenaltyCache(path, max_entries=8)
+        for i in range(8):
+            cache.put((i,), {(0, 1): 1.0 + i / 7.0})
+        cache.save()
+        reloaded = PersistentPenaltyCache.load(path, max_entries=8)
+        for i in range(8):
+            assert reloaded.get((i,)) == {(0, 1): 1.0 + i / 7.0}
+        # inserting one more evicts the oldest entry, like the original
+        reloaded.put((99,), {(0, 1): 2.0})
+        assert reloaded.get((0,)) is None
+
+
+class TestCorruptionTolerance:
+    @pytest.mark.parametrize("payload", [
+        "{not json at all",
+        '"a bare string"',
+        '{"version": 99, "entries": []}',
+        '{"version": 1}',
+        '{"version": 1, "entries": [{"key": 42, "penalties": []}]}',
+        '{"version": 1, "entries": [{"key": "k", "penalties": [["x", 0, 1.0]]}]}',
+        "",
+    ])
+    def test_corrupted_file_yields_empty_cache(self, tmp_path, payload):
+        path = tmp_path / "cache.json"
+        path.write_text(payload, encoding="utf-8")
+        cache = PersistentPenaltyCache.load(path)
+        assert len(cache) == 0
+        assert cache.load_error is not None
+        # and the cache stays fully usable
+        cache.put(("k",), {(0, 1): 1.5})
+        assert cache.get(("k",)) == {(0, 1): 1.5}
+        cache.save()
+        assert PersistentPenaltyCache.load(path).get(("k",)) == {(0, 1): 1.5}
+
+    def test_missing_file_is_fine(self, tmp_path):
+        cache = PersistentPenaltyCache.load(tmp_path / "nope.json")
+        assert len(cache) == 0 and cache.load_error is None
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(GraphError):
+            PersistentPenaltyCache().save()
+
+    def test_save_is_atomic_on_reentry(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = PersistentPenaltyCache(path)
+        cache.put(("k",), {(0, 1): 1.0})
+        cache.save()
+        before = path.read_text(encoding="utf-8")
+        json.loads(before)  # well-formed
+        cache.put(("k2",), {(0, 2): 2.0})
+        cache.save()
+        assert len(PersistentPenaltyCache.load(path)) == 2

@@ -1,0 +1,143 @@
+"""Warm-started max-min solving and the unified rate cache of the emulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import PenaltyCache
+from repro.network import EmulatorRateProvider, FatTreeTopology, Transfer, get_technology
+from repro.units import MB
+
+ETH = get_technology("ethernet")
+
+
+def fresh(warm_start=True, cache=None, cache_size=4096, technology=ETH, topology=None):
+    return EmulatorRateProvider(technology, topology, num_hosts=16,
+                                cache_size=cache_size, cache=cache,
+                                warm_start=warm_start)
+
+
+class TestWarmStart:
+    def test_single_arrival_is_warm_started(self):
+        provider = fresh(cache_size=0)
+        active = [Transfer(0, 0, 1, 20 * MB)]
+        provider.rates(active)
+        assert provider.warm_starts == 0  # no previous allocation on first call
+        active = active + [Transfer(1, 0, 2, 20 * MB)]
+        provider.rates(active)
+        assert provider.warm_starts == 1
+
+    def test_warm_rates_match_cold_solver(self):
+        """One arrival/departure at a time: warm path tracks the full solver."""
+        steps = []
+        active = []
+        for i in range(6):
+            active = active + [Transfer(i, i % 4, (i + 1) % 4 + 4, 20 * MB)]
+            steps.append(list(active))
+        for i in (1, 3):
+            active = [t for t in active if t.transfer_id != i]
+            steps.append(list(active))
+
+        warm = fresh(cache_size=0)
+        cold = fresh(cache_size=0, warm_start=False)
+        for step in steps:
+            warm_rates = warm.rates(step)
+            cold_rates = cold.rates(step)
+            for tid in cold_rates:
+                assert warm_rates[tid] == pytest.approx(cold_rates[tid], rel=1e-9)
+        assert warm.warm_starts > 0
+        assert cold.warm_starts == 0
+
+    def test_disjoint_flows_keep_their_previous_rates(self):
+        provider = fresh(cache_size=0)
+        base = [Transfer(0, 0, 1, 20 * MB), Transfer(1, 2, 3, 20 * MB)]
+        first = provider.rates(base)
+        second = provider.rates(base + [Transfer(2, 4, 5, 20 * MB)])
+        # the newcomer shares no host with 0/1: their floats are untouched
+        assert second[0] == first[0]
+        assert second[1] == first[1]
+
+    def test_multi_flow_delta_falls_back_to_full_solve(self):
+        provider = fresh(cache_size=0)
+        provider.rates([Transfer(0, 0, 1, 20 * MB)])
+        provider.rates([Transfer(1, 2, 3, 20 * MB), Transfer(2, 4, 5, 20 * MB)])
+        assert provider.warm_starts == 0
+
+    def test_reused_id_with_new_endpoints_falls_back(self):
+        provider = fresh(cache_size=0)
+        provider.rates([Transfer(0, 0, 1, 20 * MB), Transfer(1, 2, 3, 20 * MB)])
+        provider.rates([Transfer(0, 5, 6, 20 * MB), Transfer(1, 2, 3, 20 * MB)])
+        assert provider.warm_starts == 0
+
+    def test_fat_tree_uplink_couples_cross_switch_flows(self):
+        """Flows sharing only a fabric link must be re-solved together."""
+        topology = FatTreeTopology(num_hosts=8, technology=ETH,
+                                   hosts_per_edge=4, uplinks_per_edge=1)
+        provider = EmulatorRateProvider(ETH, topology, cache_size=0)
+        active = [Transfer(0, 0, 4, 20 * MB)]
+        provider.rates(active)
+        active = active + [Transfer(1, 1, 5, 20 * MB)]
+        warm = provider.rates(active)
+        cold = EmulatorRateProvider(ETH, topology, cache_size=0,
+                                    warm_start=False).rates(active)
+        for tid in cold:
+            assert warm[tid] == pytest.approx(cold[tid], rel=1e-9)
+
+
+class TestUnifiedRateCache:
+    def test_repeated_situation_hits(self):
+        provider = fresh()
+        active = [Transfer(0, 0, 1, 20 * MB), Transfer(1, 0, 2, 20 * MB)]
+        first = provider.rates(active)
+        second = provider.rates(list(reversed(active)))  # same multiset of pairs
+        assert provider.cache_hits == 1
+        assert second == first
+
+    def test_cache_shared_across_providers(self):
+        cache = PenaltyCache()
+        active = [Transfer(0, 0, 1, 20 * MB), Transfer(1, 0, 2, 20 * MB)]
+        a = fresh(cache=cache)
+        b = fresh(cache=cache)
+        rates_a = a.rates(active)
+        rates_b = b.rates(active)
+        assert b.cache_hits == 1 and b.cache_misses == 0
+        assert rates_b == rates_a
+
+    def test_namespace_separates_technologies(self):
+        cache = PenaltyCache()
+        active = [Transfer(0, 0, 1, 20 * MB)]
+        fresh(cache=cache).rates(active)
+        other = fresh(cache=cache, technology=get_technology("myrinet"))
+        other.rates(active)
+        assert other.cache_hits == 0 and other.cache_misses == 1
+
+    def test_invalidate_clears_cache_and_warm_state(self):
+        provider = fresh()
+        active = [Transfer(0, 0, 1, 20 * MB)]
+        provider.rates(active)
+        provider.invalidate_cache()
+        provider.rates(active + [Transfer(1, 0, 2, 20 * MB)])
+        assert provider.warm_starts == 0  # warm state was dropped too
+        assert provider.cache_misses == 2
+
+    def test_invalidate_on_shared_cache_spares_other_providers(self):
+        cache = PenaltyCache()
+        active = [Transfer(0, 0, 1, 20 * MB)]
+        a = fresh(cache=cache)
+        b = fresh(cache=cache)
+        a.rates(active)
+        b.rates(active)     # served from a's entry
+        assert b.cache_hits == 1
+        b.invalidate_cache()
+        b.rates(active)     # b's epoch moved on: must re-solve...
+        assert b.cache_misses == 1
+        c = fresh(cache=cache)
+        c.rates(active)     # ...but a's entry is still there for newcomers
+        assert c.cache_hits == 1
+
+    def test_cache_size_zero_disables_memoization(self):
+        provider = fresh(cache_size=0)
+        active = [Transfer(0, 0, 1, 20 * MB)]
+        provider.rates(active)
+        provider.rates(active)
+        assert provider.cache_hits == 0
