@@ -109,6 +109,19 @@ class PersistentPenaltyCache(PenaltyCache):
     def put(self, key: Hashable, mapping: Dict[Tuple[int, int], float]) -> None:
         super().put(self._canonical_cached(key), mapping)
 
+    def stats(self) -> Dict[str, float]:
+        """Cache-traffic summary (see :meth:`PenaltyCache.stats`) plus
+        persistence details — how many entries were served from disk and
+        whether a load failure was swallowed.  A campaign sizes
+        ``max_entries`` from these numbers: evictions with
+        ``evicted_entry_hits`` mean the bound is discarding still-useful
+        situations; a large ``entries_never_hit`` share (relative to
+        ``loaded_entries``) means the file carries dead weight."""
+        summary = super().stats()
+        summary["loaded_entries"] = self.loaded_entries
+        summary["load_failed"] = 1.0 if self.load_error else 0.0
+        return summary
+
     # ----------------------------------------------------------- persistence
     @classmethod
     def load(cls, path: Union[str, Path],

@@ -94,6 +94,13 @@ class PenaltyCache:
     The cache is thread-safe: the campaign runner shares one instance across
     a pool of scenario workers, and the simulator providers of those workers
     hit it concurrently.
+
+    Telemetry: every entry carries a hit count, and the cache totals its
+    lookups, hits, misses and evictions.  :meth:`stats` summarises them so a
+    campaign can size ``max_entries`` from observed traffic — a large
+    ``evictions`` count with many ``evicted_entry_hits`` means the LRU bound
+    is discarding situations that were still earning hits, while a large
+    ``entries_never_hit`` share means the cache is over-provisioned.
     """
 
     def __init__(self, max_entries: int = 4096) -> None:
@@ -102,6 +109,13 @@ class PenaltyCache:
         self.max_entries = max_entries
         self._entries: "OrderedDict[Hashable, Dict[Tuple[int, int], float]]" = OrderedDict()
         self._lock = threading.RLock()
+        self._entry_hits: Dict[Hashable, int] = {}
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: hits that had been earned by entries the LRU bound later discarded
+        self.evicted_entry_hits = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -109,9 +123,14 @@ class PenaltyCache:
 
     def get(self, key: Hashable) -> Optional[Dict[Tuple[int, int], float]]:
         with self._lock:
+            self.lookups += 1
             entry = self._entries.get(key)
             if entry is not None:
+                self.hits += 1
+                self._entry_hits[key] = self._entry_hits.get(key, 0) + 1
                 self._entries.move_to_end(key)
+            else:
+                self.misses += 1
             return entry
 
     def store(
@@ -143,17 +162,44 @@ class PenaltyCache:
         with self._lock:
             self._entries[key] = mapping
             self._entries.move_to_end(key)
+            self._entry_hits.setdefault(key, 0)
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                evicted, _ = self._entries.popitem(last=False)
+                self.evictions += 1
+                self.evicted_entry_hits += self._entry_hits.pop(evicted, 0)
 
     def items(self) -> List[Tuple[Hashable, Dict[Tuple[int, int], float]]]:
         """Snapshot of every entry in LRU order (oldest first)."""
         with self._lock:
             return [(key, dict(mapping)) for key, mapping in self._entries.items()]
 
+    def entry_hits(self) -> List[Tuple[Hashable, int]]:
+        """Per-entry hit counts in LRU order (oldest first)."""
+        with self._lock:
+            return [(key, self._entry_hits.get(key, 0)) for key in self._entries]
+
+    def stats(self) -> Dict[str, float]:
+        """Summary of cache traffic and the per-entry hit distribution."""
+        with self._lock:
+            counts = [self._entry_hits.get(key, 0) for key in self._entries]
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "lookups": self.lookups,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / self.lookups if self.lookups else 0.0,
+                "evictions": self.evictions,
+                "evicted_entry_hits": self.evicted_entry_hits,
+                "live_entry_hits": sum(counts),
+                "entries_never_hit": sum(1 for c in counts if c == 0),
+                "max_entry_hits": max(counts, default=0),
+            }
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._entry_hits.clear()
 
 
 class IncrementalPenaltyEngine:
@@ -208,6 +254,9 @@ class IncrementalPenaltyEngine:
         self._dirty: Set[int] = set()
         self._penalties: Dict[str, float] = {}
         self._comp_ids = itertools.count()
+        #: intra-node arrivals since the last refresh (priced 1.0 on add, but
+        #: still "re-priced" as far as the delta contract is concerned)
+        self._fresh_intra: Set[str] = set()
 
     # ---------------------------------------------------------------- helpers
     def _resources(self, comm: Communication) -> Tuple[Hashable, ...]:
@@ -238,6 +287,7 @@ class IncrementalPenaltyEngine:
             # per the ContentionModel.penalties contract, intra-node
             # communications are always penalty 1.0 (they never use the NIC)
             self._penalties[comm.name] = 1.0
+            self._fresh_intra.add(comm.name)
             return
         merged: Set[str] = {comm.name}
         touched: Set[int] = set()
@@ -255,6 +305,7 @@ class IncrementalPenaltyEngine:
         self.stats.events += 1
         self._penalties.pop(name, None)
         if comm.is_intra_node:
+            self._fresh_intra.discard(name)
             return
         for resource in self._resources(comm):
             occupants = self._by_resource[resource]
@@ -310,8 +361,35 @@ class IncrementalPenaltyEngine:
 
         Re-evaluates only the components dirtied since the last call.
         """
+        self._price_dirty()
+        self._fresh_intra.clear()
+        return dict(self._penalties)
+
+    def refresh(self) -> Dict[str, float]:
+        """Price the dirty components and return **only** the re-priced penalties.
+
+        The delta counterpart of :meth:`penalties`: the returned mapping
+        covers exactly the communications whose penalty may have changed
+        since the previous refresh — the members of every component dirtied
+        by :meth:`add`/:meth:`remove` (arrivals, departures, and the
+        neighbours they merged with or split from), plus intra-node arrivals
+        (always re-priced to 1.0).  Communications of untouched components
+        keep their stored penalty and are *not* returned, which is what lets
+        a rate provider report "what changed" to the execution engine's
+        event calendar without touching the rest of the active set.
+        """
+        repriced: Set[str] = set(self._fresh_intra)
+        for comp_id in self._dirty:
+            repriced.update(self._members[comp_id])
+        self._price_dirty()
+        self._fresh_intra.clear()
+        return {name: self._penalties[name] for name in repriced}
+
+    def _price_dirty(self) -> None:
+        """Evaluate every dirty component (through the cache) and clear the set."""
         if self.map_fn is not None and self.rule is not None:
-            return self._penalties_parallel()
+            self._price_dirty_parallel()
+            return
         for comp_id in sorted(self._dirty):
             names = sorted(self._members[comp_id])
             if self.cache is not None:
@@ -335,10 +413,9 @@ class IncrementalPenaltyEngine:
             for name in names:
                 self._penalties[name] = evaluated[name]
         self._dirty.clear()
-        return dict(self._penalties)
 
-    def _penalties_parallel(self) -> Dict[str, float]:
-        """Batch variant of :meth:`penalties` that fans misses out via ``map_fn``."""
+    def _price_dirty_parallel(self) -> None:
+        """Batch variant of :meth:`_price_dirty` that fans misses out via ``map_fn``."""
         hits: List[Tuple[List[str], Dict[Tuple[int, int], float], Dict[str, Tuple[int, int]]]] = []
         pending: List[Tuple[List[str], Optional[Hashable], Optional[Dict[str, Tuple[int, int]]]]] = []
         for comp_id in sorted(self._dirty):
@@ -379,7 +456,6 @@ class IncrementalPenaltyEngine:
             for name in names:
                 self._penalties[name] = evaluated[name]
         self._dirty.clear()
-        return dict(self._penalties)
 
     # ------------------------------------------------------------------ misc
     @property
@@ -395,6 +471,7 @@ class IncrementalPenaltyEngine:
         self._by_resource.clear()
         self._dirty.clear()
         self._penalties.clear()
+        self._fresh_intra.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -9,7 +9,15 @@ Go and credit-based flow controls for mechanism-level studies.
 
 from .allocator import EmulatorRateProvider
 from .emulator import ClusterEmulator
-from .fluid import FluidTransferSimulator, RateProvider, Transfer, TransferResult
+from .fluid import (
+    CalendarStats,
+    DeltaRateProvider,
+    FluidTransferSimulator,
+    RateProvider,
+    Transfer,
+    TransferCalendar,
+    TransferResult,
+)
 from .packet import CreditBasedNetwork, PacketLevelNetwork, StopAndGoNetwork
 from .sharing import FlowSpec, max_min_allocation, weighted_max_min_allocation
 from .technologies import (
@@ -26,9 +34,12 @@ from .topology import CrossbarTopology, FatTreeTopology, ResourceKind, Topology,
 __all__ = [
     "ClusterEmulator",
     "EmulatorRateProvider",
+    "CalendarStats",
+    "DeltaRateProvider",
     "FluidTransferSimulator",
     "RateProvider",
     "Transfer",
+    "TransferCalendar",
     "TransferResult",
     "PacketLevelNetwork",
     "StopAndGoNetwork",

@@ -109,6 +109,8 @@ class EmulatorRateProvider:
         #: previous allocation, for the warm-start delta path
         self._last_pairs: Optional[Dict[Hashable, Tuple[int, int]]] = None
         self._last_rates: Dict[Hashable, float] = {}
+        #: tracked active set, for the delta contract (:meth:`update`)
+        self._active: Dict[Hashable, Transfer] = {}
 
     def _rebuild_namespace(self) -> None:
         self._namespace = (
@@ -269,8 +271,47 @@ class EmulatorRateProvider:
         self._last_pairs = {t.transfer_id: (t.src, t.dst) for t in active}
         self._last_rates = {t.transfer_id: rates[t.transfer_id] for t in active}
 
+    # --------------------------------------------------------------- deltas
+    def reset(self) -> None:
+        """Forget the tracked active set and warm-start state (memo survives)."""
+        self._active = {}
+        self._last_pairs = None
+        self._last_rates = {}
+
+    def update(
+        self, added: Sequence[Transfer], removed: Sequence[Hashable]
+    ) -> Dict[Hashable, float]:
+        """Apply a flow delta; return the rates of the re-priced transfers.
+
+        The emulator prices whole sharing situations (its memo key is the
+        endpoint multiset), so — unlike the model-side provider, whose
+        ``rates`` is a shim over ``update`` — the delta call is built on the
+        full-set solve: the situation is re-solved (memo hit, warm-started
+        component re-solve, or full water-filling) and the new allocation is
+        value-diffed against the previous one.  Every added transfer plus
+        every incumbent whose rate changed is returned; transfers absent
+        from the mapping kept their rate exactly, which is what the event
+        calendar relies on to leave their completion entries untouched.
+        """
+        for tid in removed:
+            if self._active.pop(tid, None) is None:
+                raise SimulationError(f"unknown transfer {tid!r} removed from rate set")
+        for transfer in added:
+            if transfer.transfer_id in self._active:
+                raise SimulationError(
+                    f"transfer {transfer.transfer_id!r} added to the rate set twice"
+                )
+            self._active[transfer.transfer_id] = transfer
+        previous = dict(self._last_rates)
+        current = self.rates(list(self._active.values()))
+        return {
+            tid: rate for tid, rate in current.items()
+            if tid not in previous or previous[tid] != rate
+        }
+
     def rates(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
         """Instantaneous rate of every active transfer, in bytes per second."""
+        self._active = {t.transfer_id: t for t in active}
         if not active:
             self._remember((), {})
             return {}

@@ -6,25 +6,66 @@ transfers into completion times:
 * the **measured** side uses the cluster emulator's rate allocator
   (:mod:`repro.network.allocator`) as the rate provider;
 * the **predicted** side uses a contention model wrapped by
-  :class:`repro.simulator.predictor.ModelRateProvider`.
+  :class:`repro.simulator.providers.ModelRateProvider`.
 
-The machinery in between is identical and lives here: a fluid simulation that
-keeps, for every in-flight transfer, its remaining byte count, refreshes the
+The machinery in between is identical and lives here: an **event-calendar**
+fluid simulation that keeps, for every in-flight transfer, its remaining
+byte count and a predicted completion entry in a lazy min-heap, refreshes
 rates whenever the set of active transfers changes (a transfer starts or
-finishes), and advances time to the next such event.  This is the standard
-flow-level approximation used by simulators such as SimGrid and is exact for
-max-min style allocations that only change at flow arrival/departure.
+finishes), and advances time to the next calendar entry.  This is the
+standard flow-level approximation used by simulators such as SimGrid and is
+exact for max-min style allocations that only change at flow
+arrival/departure.
 
-Incremental recomputation contract: the simulator hands the *full* active
-set to ``rate_provider.rates`` at every event, but providers are expected to
-diff successive calls internally — :class:`repro.simulator.providers.ModelRateProvider`
-re-prices only the conflict components dirtied by the arrivals/departures
-since the previous call (memoizing repeated contention situations), and
-:class:`repro.network.allocator.EmulatorRateProvider` memoizes whole sharing
-situations by endpoint multiset.  The contract that makes this sound: the
-rates returned for a given active set must not depend on *when* the provider
-was previously queried, only on the set itself.  Any conforming provider can
-therefore cache aggressively; the fluid loop never needs to know.
+Delta recomputation contract
+----------------------------
+Rate providers expose two entry points:
+
+* ``rates(active)`` — the historical full-set call: the rate (bytes/s) of
+  every transfer in ``active``.  The rates returned for a given active set
+  must not depend on *when* the provider was previously queried, only on
+  the set itself — any conforming provider can cache aggressively.
+* ``update(added, removed) -> changed`` — the delta call: apply the flow
+  arrivals (``added``, :class:`Transfer` objects) and departures
+  (``removed``, transfer ids) and return the rates of exactly the transfers
+  that were **re-priced** — every added transfer plus any incumbent whose
+  rate may have changed (for the model-side provider that is the membership
+  of the conflict components dirtied by the delta, straight out of
+  :class:`repro.core.incremental.IncrementalPenaltyEngine`; for the
+  emulator it is the value-diff of the re-solved allocation).  Transfers
+  absent from the returned mapping are guaranteed to keep their previous
+  rate, which is what lets the calendar leave their predicted completion
+  untouched.  Providers may also expose ``reset()`` to drop the tracked
+  active set between independent runs (memo caches survive a reset).
+
+Calendar invariants
+-------------------
+:class:`TransferCalendar` maintains, per in-flight transfer, ``remaining``
+bytes, the current ``rate``, the time the rate was last applied from, and an
+``epoch`` counter; the min-heap holds ``(predicted_completion, seq, id,
+epoch)`` entries.
+
+* **Epoch-stale entries**: re-timing a transfer bumps its epoch and pushes a
+  fresh entry; superseded entries stay in the heap and are discarded when
+  they surface (their epoch no longer matches).  Entries of departed
+  transfers are discarded the same way.
+* **Re-timing rule**: a transfer is re-timed (remaining bytes integrated at
+  the old rate up to "now", then a new completion predicted at the new
+  rate) only when the provider returns a rate whose *value* differs from
+  the stored one.  A re-priced transfer whose rate came back unchanged
+  keeps its calendar entry bit-for-bit, so the provider may over-report —
+  correctness only requires that every actual change is reported.
+* **Completion rule**: when an entry surfaces at or before the simulation
+  clock, the transfer's remaining bytes are integrated; it completes when
+  they are negligible (≤ :attr:`~TransferCalendar.EPSILON_BYTES`) or when
+  the time still needed at the current rate is below the clock resolution.
+  A non-negligible pop (floating-point drift) re-times instead of
+  completing, so the calendar can never lose a transfer.
+
+Simulation cost therefore scales with *state changes* (how many transfers
+each arrival/departure re-prices) rather than with the size of the active
+set: per event the provider prices one dirtied conflict component and the
+calendar re-times only the transfers inside it.
 """
 
 from __future__ import annotations
@@ -32,12 +73,20 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Protocol, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Protocol, Sequence, Tuple
 
 from ..exceptions import SimulationError
 
-__all__ = ["Transfer", "TransferResult", "RateProvider", "FluidTransferSimulator"]
+__all__ = [
+    "Transfer",
+    "TransferResult",
+    "RateProvider",
+    "DeltaRateProvider",
+    "CalendarStats",
+    "TransferCalendar",
+    "FluidTransferSimulator",
+]
 
 
 @dataclass
@@ -82,8 +131,254 @@ class RateProvider(Protocol):
         ...  # pragma: no cover - protocol
 
 
+class DeltaRateProvider(RateProvider, Protocol):
+    """A rate provider that can report exactly which transfers were re-priced.
+
+    See the module docstring for the contract; the shipped
+    :class:`repro.simulator.providers.ModelRateProvider` and
+    :class:`repro.network.allocator.EmulatorRateProvider` both implement it,
+    with ``rates()`` kept as a compatibility shim.
+    """
+
+    def update(
+        self, added: Sequence[Transfer], removed: Sequence[Hashable]
+    ) -> Mapping[Hashable, float]:
+        """Apply a flow delta; return the rates of the re-priced transfers."""
+        ...  # pragma: no cover - protocol
+
+
+@dataclass
+class CalendarStats:
+    """Work counters of one :class:`TransferCalendar` (benchmark instrumentation)."""
+
+    #: rate refreshes pushed to the provider (≤ one per simulation step)
+    flushes: int = 0
+    #: rate entries the provider returned across all flushes — the per-step
+    #: engine work the scale benchmark compares against the active-set size
+    rate_updates: int = 0
+    #: completion entries recomputed because a rate value actually changed
+    retimed: int = 0
+    #: transfers that entered the calendar
+    activations: int = 0
+    #: transfers that completed
+    completions: int = 0
+    #: superseded heap entries discarded on surfacing
+    stale_entries: int = 0
+    #: running sum of the active-set size at each flush — baseline for rate_updates
+    active_at_flush: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "flushes": self.flushes,
+            "rate_updates": self.rate_updates,
+            "retimed": self.retimed,
+            "activations": self.activations,
+            "completions": self.completions,
+            "stale_entries": self.stale_entries,
+            "active_at_flush": self.active_at_flush,
+        }
+
+
+class _Flight:
+    """Calendar-side state of one in-flight transfer."""
+
+    __slots__ = ("transfer", "remaining", "rate", "rated", "last_update", "epoch")
+
+    def __init__(self, transfer: Transfer, remaining: float, now: float) -> None:
+        self.transfer = transfer
+        self.remaining = remaining
+        self.rate = 0.0
+        self.rated = False
+        self.last_update = now
+        self.epoch = 0
+
+
+class TransferCalendar:
+    """Lazy min-heap of predicted transfer completions over a rate provider.
+
+    The shared event-calendar core of both fluid loops — the standalone
+    :class:`FluidTransferSimulator` and the execution engine
+    (:mod:`repro.simulator.engine`) drive the same instance type, so the
+    prediction and emulation paths share one integration/re-timing code
+    path.  See the module docstring for the invariants.
+
+    Parameters
+    ----------
+    rate_provider:
+        The provider; when it implements ``update`` (the delta contract)
+        each flush hands it only the arrivals/departures since the previous
+        flush.  A rates-only provider is re-queried with the full active set
+        and the changed rates are found by value-diff — semantically
+        identical, O(active) per flush.
+    delta:
+        ``None`` (default) auto-detects ``update``; ``False`` forces the
+        full-query path even for delta providers (the verification mode the
+        property tests compare against); ``True`` requires a delta provider.
+    missing_rate:
+        What to do when the provider returns no rate for a live transfer:
+        ``"error"`` raises (the fluid simulator's historical behaviour),
+        ``"zero"`` treats it as a zero rate (the execution engine's).
+    """
+
+    EPSILON = 1e-12
+    EPSILON_BYTES = 1e-6
+
+    def __init__(
+        self,
+        rate_provider: RateProvider,
+        delta: Optional[bool] = None,
+        missing_rate: str = "error",
+    ) -> None:
+        if missing_rate not in ("error", "zero"):
+            raise SimulationError(f"unknown missing_rate policy {missing_rate!r}")
+        has_update = callable(getattr(rate_provider, "update", None))
+        if delta is True and not has_update:
+            raise SimulationError(
+                "delta=True requires a rate provider with an update() method"
+            )
+        self.provider = rate_provider
+        self.delta = has_update if delta is None else bool(delta)
+        self.missing_rate = missing_rate
+        self.stats = CalendarStats()
+        self._flights: Dict[Hashable, _Flight] = {}
+        self._heap: List[Tuple[float, int, Hashable, int]] = []
+        self._seq = itertools.count()
+        self._pending_added: Dict[Hashable, Transfer] = {}
+        self._pending_removed: List[Hashable] = []
+
+    # --------------------------------------------------------------- queries
+    @property
+    def active_count(self) -> int:
+        return len(self._flights)
+
+    def remaining(self, tid: Hashable) -> float:
+        """Remaining bytes as of the flight's last integration point."""
+        return self._flights[tid].remaining
+
+    def next_time(self) -> Optional[float]:
+        """Earliest valid predicted completion, or ``None``."""
+        while self._heap:
+            time, _, tid, epoch = self._heap[0]
+            flight = self._flights.get(tid)
+            if flight is None or flight.epoch != epoch:
+                heapq.heappop(self._heap)
+                self.stats.stale_entries += 1
+                continue
+            return time
+        return None
+
+    # -------------------------------------------------------------- mutation
+    def activate(self, transfer: Transfer, now: float) -> None:
+        """A transfer starts progressing at ``now`` (joins the next flush)."""
+        tid = transfer.transfer_id
+        if tid in self._flights:
+            raise SimulationError(f"transfer {tid!r} is already active")
+        self._flights[tid] = _Flight(transfer, float(transfer.size), now)
+        self._pending_added[tid] = transfer
+        self.stats.activations += 1
+
+    def _integrate(self, flight: _Flight, now: float) -> None:
+        if flight.rated and flight.rate > 0.0:
+            dt = now - flight.last_update
+            if dt > 0.0:
+                flight.remaining -= flight.rate * dt
+        flight.last_update = now
+
+    def _retime(self, tid: Hashable, flight: _Flight, now: float) -> None:
+        flight.epoch += 1
+        if flight.rated and flight.rate > 0.0:
+            completion = now + flight.remaining / flight.rate
+            heapq.heappush(self._heap, (completion, next(self._seq), tid, flight.epoch))
+            self.stats.retimed += 1
+
+    def flush(self, now: float) -> None:
+        """Push the pending flow delta to the provider and apply changed rates."""
+        if self.delta:
+            if not self._pending_added and not self._pending_removed:
+                return
+            added = list(self._pending_added.values())
+            removed = list(self._pending_removed)
+            self._pending_added.clear()
+            self._pending_removed.clear()
+            changed: Mapping[Hashable, float] = self.provider.update(added, removed)
+        else:
+            self._pending_added.clear()
+            self._pending_removed.clear()
+            if not self._flights:
+                return
+            changed = self.provider.rates(
+                [flight.transfer for flight in self._flights.values()]
+            )
+        self.stats.flushes += 1
+        self.stats.rate_updates += len(changed)
+        self.stats.active_at_flush += len(self._flights)
+        for tid, rate in changed.items():
+            flight = self._flights.get(tid)
+            if flight is None:
+                continue  # a full-map shim may echo ids the caller never activated
+            if rate < 0:
+                raise SimulationError(f"negative rate for transfer {tid!r}")
+            self._apply_rate(tid, flight, rate, now)
+        # in delta mode absence from `changed` means "rate unchanged" (the
+        # contract); on a full query it means the provider dropped a live
+        # transfer — never acceptable under "error", a zero rate under "zero"
+        if self.delta:
+            missing = [tid for tid, flight in self._flights.items()
+                       if not flight.rated]
+        else:
+            missing = [tid for tid in self._flights if tid not in changed]
+        if missing:
+            if self.missing_rate == "error":
+                raise SimulationError(f"rate provider returned no rate for {missing!r}")
+            for tid in missing:
+                self._apply_rate(tid, self._flights[tid], 0.0, now)
+
+    def _apply_rate(self, tid: Hashable, flight: _Flight, rate: float,
+                    now: float) -> None:
+        if flight.rated and rate == flight.rate:
+            return  # value unchanged: the calendar entry stays valid
+        self._integrate(flight, now)
+        flight.rate = rate
+        flight.rated = True
+        self._retime(tid, flight, now)
+
+    def pop_due(self, now: float) -> List[Transfer]:
+        """Complete every transfer whose calendar entry is due at ``now``.
+
+        Completed transfers leave the calendar and join the departure side
+        of the next flush; the list preserves entry order (callers that need
+        a different completion order sort it themselves).
+        """
+        done: List[Transfer] = []
+        while self._heap:
+            time, _, tid, epoch = self._heap[0]
+            flight = self._flights.get(tid)
+            if flight is None or flight.epoch != epoch:
+                heapq.heappop(self._heap)
+                self.stats.stale_entries += 1
+                continue
+            if time > now + self.EPSILON:
+                break
+            heapq.heappop(self._heap)
+            self._integrate(flight, now)
+            clock_resolution = max(abs(now), 1.0) * 1e-12
+            negligible = (
+                flight.remaining <= max(self.EPSILON, self.EPSILON_BYTES)
+                or (flight.rate > 0.0
+                    and flight.remaining / flight.rate <= clock_resolution)
+            )
+            if not negligible:
+                self._retime(tid, flight, now)  # fp drift: try again later
+                continue
+            del self._flights[tid]
+            self._pending_removed.append(tid)
+            done.append(flight.transfer)
+            self.stats.completions += 1
+        return done
+
+
 class FluidTransferSimulator:
-    """Event-driven fluid simulation of a set of transfers.
+    """Event-calendar fluid simulation of a set of transfers.
 
     Parameters
     ----------
@@ -92,16 +387,24 @@ class FluidTransferSimulator:
     latency:
         Per-transfer startup latency in seconds, added before the first byte
         flows (one-way network latency plus protocol handshake).
+    delta:
+        Forwarded to :class:`TransferCalendar` — ``None`` auto-detects the
+        provider's delta ``update`` API, ``False`` forces full-set
+        re-queries (the verification mode; bit-exact with the delta path).
     """
 
     #: bytes below which a transfer is considered finished (numerical guard)
-    EPSILON_BYTES = 1e-6
+    EPSILON_BYTES = TransferCalendar.EPSILON_BYTES
 
-    def __init__(self, rate_provider: RateProvider, latency: float = 0.0) -> None:
+    def __init__(self, rate_provider: RateProvider, latency: float = 0.0,
+                 delta: Optional[bool] = None) -> None:
         if latency < 0:
             raise SimulationError(f"latency must be non-negative, got {latency}")
         self.rate_provider = rate_provider
         self.latency = latency
+        self.delta = delta
+        #: calendar work counters of the most recent :meth:`run`
+        self.last_calendar_stats: Optional[Dict[str, int]] = None
 
     # ------------------------------------------------------------------- run
     def run(self, transfers: Sequence[Transfer]) -> Dict[Hashable, TransferResult]:
@@ -112,75 +415,65 @@ class FluidTransferSimulator:
         if not transfers:
             return {}
 
+        reset = getattr(self.rate_provider, "reset", None)
+        if callable(reset):
+            reset()
+        calendar = TransferCalendar(self.rate_provider, delta=self.delta,
+                                    missing_rate="error")
+
         # transfers waiting for their (latency-shifted) start time
         pending: List[Tuple[float, int, Transfer]] = []
         counter = itertools.count()
         for transfer in transfers:
             heapq.heappush(pending, (transfer.start_time + self.latency, next(counter), transfer))
 
-        remaining: Dict[Hashable, float] = {}
-        active: Dict[Hashable, Transfer] = {}
         results: Dict[Hashable, TransferResult] = {}
         now = 0.0
         guard = 0
         max_events = 10 * len(transfers) + 10
 
-        while pending or active:
+        while pending or calendar.active_count:
             guard += 1
             if guard > max_events:
                 raise SimulationError("fluid simulation exceeded its event budget")
 
-            # activate transfers whose start time has been reached
+            # activate transfers whose start time has been reached; zero-byte
+            # transfers finish immediately without entering the rate set
             while pending and pending[0][0] <= now + 1e-15:
                 _, _, transfer = heapq.heappop(pending)
-                active[transfer.transfer_id] = transfer
-                remaining[transfer.transfer_id] = float(transfer.size)
+                if float(transfer.size) <= self.EPSILON_BYTES:
+                    results[transfer.transfer_id] = TransferResult(
+                        transfer.transfer_id, transfer.start_time, now
+                    )
+                else:
+                    calendar.activate(transfer, now)
 
-            # finish zero-byte transfers immediately
-            for tid in [tid for tid, rem in remaining.items() if rem <= self.EPSILON_BYTES]:
-                transfer = active.pop(tid)
-                remaining.pop(tid)
-                results[tid] = TransferResult(tid, transfer.start_time, now)
-
-            if not active:
+            if not calendar.active_count:
                 if pending:
                     now = pending[0][0]
                     continue
                 break
 
-            rates = self.rate_provider.rates(list(active.values()))
-            missing = [tid for tid in active if tid not in rates]
-            if missing:
-                raise SimulationError(f"rate provider returned no rate for {missing!r}")
+            calendar.flush(now)
 
-            # time until the next completion at the current rates
-            time_to_finish = math.inf
-            for tid, transfer in active.items():
-                rate = rates[tid]
-                if rate < 0:
-                    raise SimulationError(f"negative rate for transfer {tid!r}")
-                if rate > 0:
-                    time_to_finish = min(time_to_finish, remaining[tid] / rate)
+            next_completion = calendar.next_time()
             next_start = pending[0][0] if pending else math.inf
-            if math.isinf(time_to_finish) and math.isinf(next_start):
+            if next_completion is None and math.isinf(next_start):
                 raise SimulationError(
                     "fluid simulation stalled: all active transfers have zero rate "
                     "and no new transfer will start"
                 )
 
-            horizon = min(now + time_to_finish, next_start)
-            dt = max(0.0, horizon - now)
-            for tid in active:
-                remaining[tid] -= rates[tid] * dt
-            now = horizon
+            horizon = min(math.inf if next_completion is None else next_completion,
+                          next_start)
+            now = max(now, horizon)
 
-            # collect completions
-            finished = [tid for tid, rem in remaining.items() if rem <= self.EPSILON_BYTES]
-            for tid in finished:
-                transfer = active.pop(tid)
-                remaining.pop(tid)
-                results[tid] = TransferResult(tid, transfer.start_time, now)
+            for transfer in calendar.pop_due(now):
+                results[transfer.transfer_id] = TransferResult(
+                    transfer.transfer_id, transfer.start_time, now
+                )
 
+        self.last_calendar_stats = calendar.stats.snapshot()
         return results
 
     # ------------------------------------------------------------ conveniences

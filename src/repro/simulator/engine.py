@@ -15,39 +15,48 @@ semantics the paper relies on:
 * global synchronisation barriers;
 * compute events expressed either in seconds or in floating point operations.
 
-The engine is a fluid discrete-event simulation: time only advances to the
-next compute completion, transfer completion or transfer readiness, and the
-rates of all in-flight transfers are refreshed whenever that set changes.
+The engine is an **event-calendar** fluid discrete-event simulation: compute
+completions and transfer-readiness times live in a timeline heap, predicted
+transfer completions live in the shared
+:class:`~repro.network.fluid.TransferCalendar`, and every step advances the
+clock to the earliest calendar entry.  Rate refreshes follow the delta
+contract of :mod:`repro.network.fluid`: the engine hands the provider only
+the flow arrivals and departures since the previous step, the provider
+returns the rates of exactly the transfers it re-priced (with the default
+:class:`~repro.simulator.providers.ModelRateProvider`, the membership of
+the conflict components the delta dirtied), and only transfers whose rate
+*value* changed have their remaining bytes integrated and their completion
+re-timed.  Per-step work therefore scales with the state change, not with
+the number of in-flight transfers.  Setting
+:attr:`EngineConfig.delta_rates` to ``False`` re-queries the full active
+set each step instead (bit-exact with the delta path — property-tested in
+``tests/property/test_calendar_engine.py``).
 
-Rate refreshes follow the incremental recomputation contract of
-:mod:`repro.network.fluid`: the engine passes the full set of progressing
-transfers to the provider at every step, and the provider diffs it against
-the previous step — with the default incremental
-:class:`~repro.simulator.providers.ModelRateProvider`, an arrival or
-departure only re-prices the conflict components it dirtied, and repeated
-contention situations of iterative applications (LINPACK iterations,
-collective phases) hit the memoized snapshot cache instead of re-running
-the contention model.
+Message matching — pending sends, posted receives, parked eager arrivals
+and unclaimed in-flight transfers — is indexed by ``(src, dst, tag)`` with
+``MPI_ANY_SOURCE`` wildcard buckets, preserving the posted-order
+tie-breaking of the historical linear scans.
 """
 
 from __future__ import annotations
 
+import heapq
 import itertools
-import math
+from collections import Counter
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..cluster.placement import Placement
 from ..exceptions import DeadlockError, SimulationError, TraceError
-from ..network.fluid import Transfer
+from ..network.fluid import Transfer, TransferCalendar
 from ..network.technologies import NetworkTechnology, get_technology
 from ..units import KiB
 from .application import Application
 from .events import ANY_SOURCE, BarrierEvent, ComputeEvent, Event, RecvEvent, SendEvent
 from .report import EventRecord, SimulationReport
 
-__all__ = ["EngineConfig", "ExecutionEngine"]
+__all__ = ["EngineConfig", "EngineLoopStats", "ExecutionEngine"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +71,10 @@ class EngineConfig:
     default_flops_per_core: float = 4.0e9
     #: hard cap on engine iterations per simulated event (safety net)
     iteration_factor: int = 50
+    #: use the provider's delta ``update`` API (when available); ``False``
+    #: re-queries the full active set every step — same results, O(active)
+    #: per-step work (kept for verification and benchmarking)
+    delta_rates: bool = True
 
     def __post_init__(self) -> None:
         if self.eager_threshold < 0:
@@ -70,6 +83,23 @@ class EngineConfig:
             raise SimulationError("compute_efficiency must be in (0, 1]")
         if self.default_flops_per_core <= 0:
             raise SimulationError("default_flops_per_core must be positive")
+
+
+@dataclass
+class EngineLoopStats:
+    """Work counters of one :meth:`ExecutionEngine.run` (see the benchmark)."""
+
+    #: main-loop iterations (ready-task sweeps)
+    iterations: int = 0
+    #: horizon advances (simulation steps)
+    steps: int = 0
+    #: calendar counters (rate_updates, retimed, stale_entries, ...) of the run
+    calendar: Dict[str, int] = field(default_factory=dict)
+
+    def snapshot(self) -> Dict[str, int]:
+        merged = {"iterations": self.iterations, "steps": self.steps}
+        merged.update(self.calendar)
+        return merged
 
 
 class _Status(Enum):
@@ -119,10 +149,107 @@ class _RecvRequest:
 @dataclass
 class _InFlight:
     transfer: Transfer
-    remaining: float
     ready_time: float
     send: _SendRequest
     recv: Optional[_RecvRequest] = None
+    #: token of this flight in the unclaimed-transfer index while recv is None
+    claim_token: Optional[int] = None
+
+
+class _MatchQueue:
+    """``(src, dst, tag)``-keyed message-matching buckets.
+
+    Replaces the historical linear scans over ``pending_sends`` /
+    ``pending_recvs`` / ``arrived`` lists.  Items are stored under their
+    channel coordinates; ``src`` may be :data:`ANY_SOURCE` on the stored
+    side (a wildcard receive) or on the query side (a receive matching any
+    sender).  :meth:`pop_best` returns the match with the smallest order
+    key — insertion order by default, so the FIFO posted-order tie-breaking
+    of the scans it replaces is preserved exactly, including across the
+    specific and wildcard buckets of one channel.
+    """
+
+    def __init__(self) -> None:
+        #: (src, dst, tag) -> {token: (order, item)} for specific-source items
+        self._specific: Dict[Tuple[int, int, int], Dict[int, Tuple[tuple, object]]] = {}
+        #: (dst, tag) -> {token: (order, item)} for stored ANY_SOURCE items
+        self._any_src: Dict[Tuple[int, int], Dict[int, Tuple[tuple, object]]] = {}
+        #: (dst, tag) -> {token: (order, item)} mirror of every specific item,
+        #: consulted by ANY_SOURCE queries
+        self._mirror: Dict[Tuple[int, int], Dict[int, Tuple[tuple, object]]] = {}
+        self._where: Dict[int, Tuple[int, int, int]] = {}
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._where)
+
+    def add(self, src: int, dst: int, tag: int, item: object,
+            order: Optional[float] = None) -> int:
+        """Store ``item`` under its channel; returns a token for :meth:`discard`.
+
+        ``order`` defaults to the insertion rank (the token), giving FIFO;
+        an explicit order (e.g. posted time) sorts before it, with the token
+        breaking ties — one key shape either way, so a queue mixing both
+        styles still compares consistently.
+        """
+        token = next(self._seq)
+        entry = ((token if order is None else order, token), item)
+        self._where[token] = (src, dst, tag)
+        if src == ANY_SOURCE:
+            self._any_src.setdefault((dst, tag), {})[token] = entry
+        else:
+            self._specific.setdefault((src, dst, tag), {})[token] = entry
+            self._mirror.setdefault((dst, tag), {})[token] = entry
+        return token
+
+    def discard(self, token: Optional[int]) -> Optional[object]:
+        """Remove a stored item by token (no-op when already matched)."""
+        if token is None:
+            return None
+        where = self._where.pop(token, None)
+        if where is None:
+            return None
+        src, dst, tag = where
+        if src == ANY_SOURCE:
+            bucket = self._any_src[(dst, tag)]
+            entry = bucket.pop(token)
+            if not bucket:
+                del self._any_src[(dst, tag)]
+        else:
+            bucket = self._specific[(src, dst, tag)]
+            entry = bucket.pop(token)
+            if not bucket:
+                del self._specific[(src, dst, tag)]
+            mirror = self._mirror[(dst, tag)]
+            mirror.pop(token, None)
+            if not mirror:
+                del self._mirror[(dst, tag)]
+        return entry[1]
+
+    def pop_best(self, src: int, dst: int, tag: int) -> Optional[object]:
+        """Pop the oldest stored item matching ``(src, dst, tag)``."""
+        if src == ANY_SOURCE:
+            buckets = (self._mirror.get((dst, tag)), self._any_src.get((dst, tag)))
+        else:
+            buckets = (self._specific.get((src, dst, tag)), self._any_src.get((dst, tag)))
+        best_token = None
+        best_order = None
+        for bucket in buckets:
+            if not bucket:
+                continue
+            token = min(bucket, key=lambda t: bucket[t][0])
+            order = bucket[token][0]
+            if best_order is None or order < best_order:
+                best_token, best_order = token, order
+        if best_token is None:
+            return None
+        return self.discard(best_token)
+
+
+#: timeline entry kinds (computes before readiness on equal timestamps is
+#: irrelevant — due entries are drained together and re-ordered explicitly)
+_COMPUTE = 0
+_READY = 1
 
 
 class ExecutionEngine:
@@ -169,11 +296,18 @@ class ExecutionEngine:
         self.now = 0.0
         self._transfer_counter = itertools.count()
         self.in_flight: Dict[int, _InFlight] = {}
-        self.pending_sends: List[_SendRequest] = []     # rendezvous sends waiting for a recv
-        self.pending_recvs: List[_RecvRequest] = []     # posted recvs waiting for a send
-        self.arrived: List[Tuple[_SendRequest, float]] = []  # eager messages waiting for a recv
-        self.barrier_waiting: Dict[int, float] = {}      # rank -> time it reached the barrier
+        self._sends = _MatchQueue()      # rendezvous sends waiting for a recv
+        self._recvs = _MatchQueue()      # posted recvs waiting for a send
+        self._arrived = _MatchQueue()    # eager messages waiting for a recv
+        self._unclaimed = _MatchQueue()  # in-flight transfers without a recv
+        self.barrier_waiting: Dict[int, float] = {}  # rank -> time it reached the barrier
         self.records: List[EventRecord] = []
+        # event calendar: computes + transfer readiness in the timeline heap,
+        # predicted transfer completions in the shared TransferCalendar
+        self._timeline: List[Tuple[float, int, int, int]] = []
+        self._timeline_seq = itertools.count()
+        self._calendar: Optional[TransferCalendar] = None
+        self.stats = EngineLoopStats()
 
     # -------------------------------------------------------------- utilities
     def _flops_per_core(self) -> float:
@@ -222,6 +356,10 @@ class ExecutionEngine:
             duration = self._compute_duration(event)
             task.status = _Status.COMPUTING
             task.compute_until = self.now + duration
+            heapq.heappush(
+                self._timeline,
+                (task.compute_until, next(self._timeline_seq), _COMPUTE, task.rank),
+            )
         elif isinstance(event, SendEvent):
             if event.dst == task.rank:
                 raise TraceError(f"rank {task.rank} sends to itself")
@@ -242,11 +380,6 @@ class ExecutionEngine:
             raise TraceError(f"unknown event type {type(event).__name__}")
 
     # ------------------------------------------------------------- messaging
-    def _matches(self, send: _SendRequest, recv: _RecvRequest) -> bool:
-        if send.dst != recv.rank or send.tag != recv.tag:
-            return False
-        return recv.src == ANY_SOURCE or recv.src == send.rank
-
     def _start_transfer(self, send: _SendRequest, recv: Optional[_RecvRequest]) -> None:
         src_node = self._node_of(send.rank)
         dst_node = self._node_of(send.dst)
@@ -256,36 +389,37 @@ class ExecutionEngine:
         transfer = Transfer(transfer_id=tid, src=src_node, dst=dst_node,
                             size=size, start_time=self.now)
         latency = 0.0 if src_node == dst_node else self.technology.latency
-        self.in_flight[tid] = _InFlight(
+        flight = _InFlight(
             transfer=transfer,
-            remaining=float(size),
             ready_time=self.now + latency,
             send=send,
             recv=recv,
         )
+        self.in_flight[tid] = flight
+        if recv is None:
+            flight.claim_token = self._unclaimed.add(
+                send.rank, send.dst, send.tag, flight, order=send.posted
+            )
+        if flight.ready_time <= self.now + self.EPSILON:
+            self._calendar.activate(transfer, self.now)
+        else:
+            heapq.heappush(
+                self._timeline,
+                (flight.ready_time, next(self._timeline_seq), _READY, tid),
+            )
 
     def _post_send(self, task: _TaskState, event: SendEvent) -> None:
         request = _SendRequest(
             rank=task.rank, dst=event.dst, tag=event.tag,
             size=event.size, posted=self.now, label=event.label,
         )
+        recv = self._recvs.pop_best(task.rank, event.dst, event.tag)
         eager = event.size <= self.config.eager_threshold
-        if eager:
+        if eager or recv is not None:
             # eager: data leaves immediately whether or not the recv is posted
-            recv = self._pop_matching_recv(request)
-            self._start_transfer(request, recv)
-            return
-        recv = self._pop_matching_recv(request)
-        if recv is not None:
             self._start_transfer(request, recv)
         else:
-            self.pending_sends.append(request)
-
-    def _pop_matching_recv(self, send: _SendRequest) -> Optional[_RecvRequest]:
-        for index, recv in enumerate(self.pending_recvs):
-            if self._matches(send, recv):
-                return self.pending_recvs.pop(index)
-        return None
+            self._sends.add(task.rank, event.dst, event.tag, request)
 
     def _post_recv(self, task: _TaskState, event: RecvEvent) -> None:
         request = _RecvRequest(
@@ -295,29 +429,25 @@ class ExecutionEngine:
             posted=self.now,
             label=event.label,
         )
-        # 1. a matching eager message already arrived
-        for index, (send, arrival) in enumerate(self.arrived):
-            if self._matches(send, request):
-                self.arrived.pop(index)
-                self._complete_recv(task, request, send, completion=self.now)
-                return
+        # 1. a matching eager message already arrived (earliest arrival first)
+        send = self._arrived.pop_best(event.src, task.rank, event.tag)
+        if send is not None:
+            self._complete_recv(task, request, send, completion=self.now)
+            return
         # 2. a matching transfer is already in flight without an attached recv
-        candidates = [
-            flight for flight in self.in_flight.values()
-            if flight.recv is None and self._matches(flight.send, request)
-        ]
-        if candidates:
-            flight = min(candidates, key=lambda f: f.send.posted)
+        #    (earliest posted first)
+        flight = self._unclaimed.pop_best(event.src, task.rank, event.tag)
+        if flight is not None:
             flight.recv = request
+            flight.claim_token = None
             return
         # 3. a matching rendezvous send is waiting: start the transfer now
-        for index, send in enumerate(self.pending_sends):
-            if self._matches(send, request):
-                self.pending_sends.pop(index)
-                self._start_transfer(send, request)
-                return
+        send = self._sends.pop_best(event.src, task.rank, event.tag)
+        if send is not None:
+            self._start_transfer(send, request)
+            return
         # 4. nothing yet: wait
-        self.pending_recvs.append(request)
+        self._recvs.add(event.src, task.rank, event.tag, request)
 
     # ----------------------------------------------------------- completions
     def _record(self, rank: int, kind: str, start: float, end: float, size: int = 0,
@@ -356,7 +486,9 @@ class ExecutionEngine:
             receiver = self.tasks[flight.recv.rank]
             self._complete_recv(receiver, flight.recv, flight.send, self.now)
         else:
-            self.arrived.append((flight.send, self.now))
+            self._unclaimed.discard(flight.claim_token)
+            self._arrived.add(flight.send.rank, flight.send.dst, flight.send.tag,
+                              flight.send)
 
     def _maybe_release_barrier(self) -> None:
         alive = [t for t in self.tasks if t.status is not _Status.DONE]
@@ -390,98 +522,106 @@ class ExecutionEngine:
                 made_progress = True
         return progressed
 
-    def _progressing_transfers(self) -> List[Transfer]:
-        return [
-            flight.transfer for flight in self.in_flight.values()
-            if flight.ready_time <= self.now + self.EPSILON
-        ]
+    def _next_horizon(self) -> float:
+        """Earliest calendar entry (timeline or predicted completion)."""
+        times: List[float] = []
+        if self._timeline:
+            times.append(self._timeline[0][0])
+        completion = self._calendar.next_time()
+        if completion is not None:
+            times.append(completion)
+        if not times:
+            blocked = [
+                (task.rank, task.status.value) for task in self.tasks
+                if task.status is not _Status.DONE
+            ]
+            raise DeadlockError(
+                f"no task can make progress at t={self.now:.6f}s; "
+                f"blocked tasks: {blocked}",
+                blocked_tasks=[rank for rank, _ in blocked],
+            )
+        return min(times)
+
+    def _complete_due_events(self) -> None:
+        """Fire every calendar entry due at the current time.
+
+        Ordering mirrors the historical loop: compute completions first (in
+        rank order), then transfer completions (in transfer order); newly
+        ready transfers join the rate set for the *next* step's flush.
+        """
+        compute_ranks: List[int] = []
+        ready_tids: List[int] = []
+        while self._timeline and self._timeline[0][0] <= self.now + self.EPSILON:
+            _, _, kind, payload = heapq.heappop(self._timeline)
+            if kind == _COMPUTE:
+                compute_ranks.append(payload)
+            else:
+                ready_tids.append(payload)
+        finished = self._calendar.pop_due(self.now)
+
+        for rank in sorted(compute_ranks):
+            task = self.tasks[rank]
+            if task.status is not _Status.COMPUTING:  # pragma: no cover - defensive
+                continue
+            event = task.current_event
+            label = event.label if isinstance(event, ComputeEvent) else ""
+            self._record(rank, "compute", task.current_start, self.now, label=label)
+            task.status = _Status.READY
+            task.resume_value = {"kind": "compute"}
+
+        for transfer in sorted(finished, key=lambda t: t.transfer_id):
+            self._complete_transfer(transfer.transfer_id)
+
+        for tid in ready_tids:
+            self._calendar.activate(self.in_flight[tid].transfer, self.now)
+
+    def _budget_diagnostics(self, max_iterations: int) -> str:
+        counts = Counter(task.status.value for task in self.tasks)
+        by_status = ", ".join(f"{status}={count}" for status, count in sorted(counts.items()))
+        return (
+            f"execution engine exceeded its iteration budget "
+            f"({max_iterations} iterations) at t={self.now:.6f}s; "
+            f"tasks by status: {{{by_status}}}; "
+            f"in-flight transfers: {len(self.in_flight)} "
+            f"({self._calendar.active_count if self._calendar else 0} progressing); "
+            f"waiting sends/recvs/arrived: "
+            f"{len(self._sends)}/{len(self._recvs)}/{len(self._arrived)}"
+        )
 
     def run(self) -> SimulationReport:
         """Execute the application to completion and return the report."""
+        reset = getattr(self.rate_provider, "reset", None)
+        if callable(reset):
+            reset()
+        self._calendar = TransferCalendar(
+            self.rate_provider,
+            delta=None if self.config.delta_rates else False,
+            missing_rate="zero",
+        )
         max_iterations = self.config.iteration_factor * (self._num_events_hint + self.num_tasks) + 100
         iterations = 0
 
         while True:
             iterations += 1
+            self.stats.iterations = iterations
             if iterations > max_iterations:
-                raise SimulationError("execution engine exceeded its iteration budget")
+                raise SimulationError(self._budget_diagnostics(max_iterations))
 
             self._process_ready_tasks()
 
             if all(task.status is _Status.DONE for task in self.tasks):
                 break
 
-            # candidate times of the next state change
-            candidates: List[float] = []
-            for task in self.tasks:
-                if task.status is _Status.COMPUTING:
-                    candidates.append(task.compute_until)
-            for flight in self.in_flight.values():
-                if flight.ready_time > self.now + self.EPSILON:
-                    candidates.append(flight.ready_time)
+            # push the flow delta of this step (new sends, completed
+            # transfers, readiness transitions) to the rate provider; only
+            # re-priced transfers whose rate changed get re-timed
+            self._calendar.flush(self.now)
 
-            progressing = self._progressing_transfers()
-            rates: Dict[Hashable, float] = {}
-            if progressing:
-                rates = dict(self.rate_provider.rates(progressing))
-                for transfer in progressing:
-                    rate = rates.get(transfer.transfer_id, 0.0)
-                    if rate < 0:
-                        raise SimulationError(
-                            f"negative rate for transfer {transfer.transfer_id!r}"
-                        )
-                    if rate > 0:
-                        flight = self.in_flight[transfer.transfer_id]
-                        candidates.append(self.now + flight.remaining / rate)
+            self.now = max(self._next_horizon(), self.now)
+            self.stats.steps += 1
+            self._complete_due_events()
 
-            if not candidates:
-                blocked = [
-                    (task.rank, task.status.value) for task in self.tasks
-                    if task.status is not _Status.DONE
-                ]
-                raise DeadlockError(
-                    f"no task can make progress at t={self.now:.6f}s; "
-                    f"blocked tasks: {blocked}",
-                    blocked_tasks=[rank for rank, _ in blocked],
-                )
-
-            horizon = min(candidates)
-            horizon = max(horizon, self.now)
-            dt = horizon - self.now
-
-            # advance in-flight transfers
-            for transfer in progressing:
-                flight = self.in_flight[transfer.transfer_id]
-                flight.remaining -= rates.get(transfer.transfer_id, 0.0) * dt
-            self.now = horizon
-
-            # complete computes
-            for task in self.tasks:
-                if task.status is _Status.COMPUTING and task.compute_until <= self.now + self.EPSILON:
-                    event = task.current_event
-                    label = event.label if isinstance(event, ComputeEvent) else ""
-                    self._record(task.rank, "compute", task.current_start, self.now, label=label)
-                    task.status = _Status.READY
-                    task.resume_value = {"kind": "compute"}
-
-            # complete transfers.  A transfer is finished when its remaining
-            # byte count is negligible, or when the time still needed at its
-            # current rate is below the floating point resolution of the
-            # simulation clock (otherwise the main loop could spin on a
-            # zero-length time step without ever advancing `now`).
-            clock_resolution = max(abs(self.now), 1.0) * 1e-12
-            finished = []
-            for tid, flight in self.in_flight.items():
-                if flight.ready_time > self.now + self.EPSILON:
-                    continue
-                rate = rates.get(tid, 0.0)
-                negligible_bytes = flight.remaining <= max(self.EPSILON, 1e-6)
-                negligible_time = rate > 0 and flight.remaining / rate <= clock_resolution
-                if negligible_bytes or negligible_time:
-                    finished.append(tid)
-            for tid in sorted(finished):
-                self._complete_transfer(tid)
-
+        self.stats.calendar = self._calendar.stats.snapshot()
         report = SimulationReport(
             application_name=self.application_name,
             model_name=self.model_name,

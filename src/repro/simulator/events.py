@@ -9,6 +9,14 @@ barrier of §IV.B) and blocking receives.
 
 Events are deliberately tiny immutable dataclasses; the execution semantics
 live in :mod:`repro.simulator.engine`.
+
+Matching semantics: a send and a receive match when they agree on the
+``(source rank, destination rank, tag)`` channel, where a receive may use
+:data:`ANY_SOURCE` to accept any sender.  Among several candidates the
+engine always picks the *oldest posted* one — MPI's non-overtaking rule —
+and a wildcard receive competes with specific ones in that same posted
+order (the engine's ``(src, dst, tag)``-keyed match indices preserve this
+exactly; see ``_MatchQueue``).
 """
 
 from __future__ import annotations
@@ -85,6 +93,11 @@ class RecvEvent:
         if self.size is not None and self.size < 0:
             raise TraceError(f"negative message size {self.size}")
 
+    @property
+    def is_any_source(self) -> bool:
+        """True for wildcard (``MPI_ANY_SOURCE``) receives."""
+        return self.src == ANY_SOURCE
+
 
 @dataclass(frozen=True)
 class BarrierEvent:
@@ -107,7 +120,7 @@ def validate_event(event: Event, num_tasks: int, rank: int) -> None:
         if event.dst == rank:
             raise TraceError(f"rank {rank} sends to itself")
     elif isinstance(event, RecvEvent):
-        if event.src != ANY_SOURCE and event.src >= num_tasks:
+        if not event.is_any_source and event.src >= num_tasks:
             raise TraceError(
                 f"rank {rank} receives from rank {event.src} but the application "
                 f"has only {num_tasks} tasks"

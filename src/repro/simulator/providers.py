@@ -12,23 +12,33 @@ providers exist:
 * :class:`~repro.network.allocator.EmulatorRateProvider` — the **measured**
   side (calibrated fluid emulator), re-exported here for symmetry.
 
-By default the model side is *incremental*: successive ``rates`` calls are
-diffed against the previous active set, only the dirty conflict components
-are re-priced, and repeated contention situations are served from a memoized
-snapshot cache (:mod:`repro.core.incremental`).  Pass ``incremental=False``
-to force the historical rebuild-everything behaviour — the two are
-bit-exact, which ``tests/property/test_incremental_properties.py`` asserts
-over random arrival/departure sequences.
+Both implement the delta contract of :mod:`repro.network.fluid`:
+``update(added, removed)`` applies a flow delta and returns the rates of
+exactly the transfers that were re-priced, so the event-calendar loops only
+re-time what actually changed.  The historical full-set ``rates(active)``
+call is kept as a compatibility shim built on ``update`` — it diffs the
+requested set against the tracked one, applies the delta, and returns the
+stored rate of every requested transfer.
+
+By default the model side is *incremental*: deltas dirty only the conflict
+components they touch, and repeated contention situations are served from a
+memoized snapshot cache (:mod:`repro.core.incremental`).  Pass
+``incremental=False`` to force the historical rebuild-everything behaviour —
+the two are bit-exact, which ``tests/property/test_incremental_properties.py``
+asserts over random arrival/departure sequences, and the delta API is
+bit-exact with cold full-set evaluation, which
+``tests/property/test_delta_contract.py`` asserts.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Hashable, Mapping, Sequence
+from typing import Dict, Hashable, List, Sequence
 
 from ..core.graph import Communication, CommunicationGraph
 from ..core.incremental import EngineStats, IncrementalPenaltyEngine, PenaltyCache
 from ..core.penalty import ContentionModel
+from ..exceptions import SimulationError
 from ..network.allocator import EmulatorRateProvider
 from ..network.fluid import Transfer
 from ..network.technologies import NetworkTechnology, get_technology
@@ -48,11 +58,12 @@ class ModelRateProvider:
         memory-path bandwidths.
     incremental:
         When True (default), re-price only the conflict components dirtied
-        by transfer arrivals/departures between successive ``rates`` calls
-        and memoize component evaluations by canonical snapshot.  When
-        False, rebuild the graph and re-evaluate the whole model on every
-        call (the pre-incremental behaviour, kept for verification and
-        benchmarking).
+        by transfer arrivals/departures and memoize component evaluations
+        by canonical snapshot; ``update`` then reports exactly the dirtied
+        membership.  When False, rebuild the graph and re-evaluate the
+        whole model on every delta (the pre-incremental behaviour, kept for
+        verification and benchmarking; every active transfer is then
+        re-priced — and reported — on each call).
     cache:
         Optional shared :class:`~repro.core.incremental.PenaltyCache`; lets
         several providers (e.g. one per simulated run, or every scenario of
@@ -60,8 +71,8 @@ class ModelRateProvider:
         memoized contention situations.
     map_fn:
         Optional ``map``-compatible callable handed to the incremental
-        engine; cache-miss component evaluations of one ``rates`` call are
-        fanned out through it (bit-exact with serial evaluation).
+        engine; cache-miss component evaluations of one delta are fanned
+        out through it (bit-exact with serial evaluation).
     """
 
     def __init__(
@@ -84,6 +95,11 @@ class ModelRateProvider:
         # in full-recompute mode the stats only count communication
         # evaluations, so both modes report the same work metric
         self._full_stats = EngineStats()
+        # delta-contract state: the tracked active set and its current rates
+        self._active: Dict[Hashable, Transfer] = {}
+        self._tid_of: Dict[str, Hashable] = {}
+        self._rates: Dict[Hashable, float] = {}
+        self._full_penalties: Dict[str, float] = {}
 
     @property
     def stats(self) -> EngineStats:
@@ -112,34 +128,107 @@ class ModelRateProvider:
             graph.add(self._communication(transfer))
         return graph
 
-    def _penalties_by_name(self, active: Sequence[Transfer]) -> Mapping[str, float]:
-        if self._engine is not None:
-            return self._engine.update(self._communication(t) for t in active)
-        graph = self._graph_from_transfers(active)
-        self._full_stats.events += 1
-        self._full_stats.component_evaluations += 1
-        self._full_stats.comm_evaluations += len(active)
-        return self.model.penalties(graph)
+    def _rate_of(self, transfer: Transfer, penalty: float) -> float:
+        penalty = max(1.0, penalty)
+        if transfer.is_intra_node:
+            return self.technology.memory_bandwidth / penalty
+        return self.technology.single_stream_bandwidth / penalty
 
+    # ---------------------------------------------------------------- deltas
+    def reset(self) -> None:
+        """Forget the tracked active set (memoized situations survive)."""
+        if self._engine is not None:
+            self._engine.reset()
+        self._active.clear()
+        self._tid_of.clear()
+        self._rates.clear()
+        self._full_penalties.clear()
+
+    def update(
+        self, added: Sequence[Transfer], removed: Sequence[Hashable]
+    ) -> Dict[Hashable, float]:
+        """Apply a flow delta; return the rates of the re-priced transfers.
+
+        With the incremental engine the returned mapping covers exactly the
+        membership of the conflict components the delta dirtied (plus
+        intra-node arrivals); in full-recompute mode every active transfer
+        is re-priced and returned.
+        """
+        for tid in removed:
+            transfer = self._active.pop(tid, None)
+            if transfer is None:
+                raise SimulationError(f"unknown transfer {tid!r} removed from rate set")
+            del self._tid_of[str(tid)]
+            self._rates.pop(tid, None)
+            if self._engine is not None:
+                self._engine.remove(str(tid))
+        for transfer in added:
+            tid = transfer.transfer_id
+            if tid in self._active:
+                raise SimulationError(f"transfer {tid!r} added to the rate set twice")
+            self._active[tid] = transfer
+            self._tid_of[str(tid)] = tid
+            if self._engine is not None:
+                self._engine.add(self._communication(transfer))
+
+        changed: Dict[Hashable, float] = {}
+        if self._engine is not None:
+            for name, penalty in self._engine.refresh().items():
+                tid = self._tid_of[name]
+                changed[tid] = self._rate_of(self._active[tid], penalty)
+        elif self._active:
+            active = list(self._active.values())
+            graph = self._graph_from_transfers(active)
+            self._full_stats.events += 1
+            self._full_stats.component_evaluations += 1
+            self._full_stats.comm_evaluations += len(active)
+            self._full_penalties = dict(self.model.penalties(graph))
+            for transfer in active:
+                penalty = self._full_penalties[str(transfer.transfer_id)]
+                changed[transfer.transfer_id] = self._rate_of(transfer, penalty)
+        else:
+            self._full_penalties = {}
+        self._rates.update(changed)
+        return changed
+
+    def _sync(self, active: Sequence[Transfer]) -> None:
+        """Diff ``active`` against the tracked set and apply the delta."""
+        wanted = {t.transfer_id: t for t in active}
+        if len(wanted) != len(active):
+            raise SimulationError("duplicate transfer ids in the active set")
+        removed: List[Hashable] = [tid for tid in self._active if tid not in wanted]
+        added: List[Transfer] = []
+        for tid, transfer in wanted.items():
+            known = self._active.get(tid)
+            if known is None:
+                added.append(transfer)
+            elif (known.src, known.dst, known.size) != (
+                transfer.src, transfer.dst, transfer.size
+            ):
+                # transfer id re-used with new endpoints/size: departure + arrival
+                removed.append(tid)
+                added.append(transfer)
+        if added or removed:
+            self.update(added, removed)
+
+    # -------------------------------------------------------------- interface
     def rates(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
-        """Rate (bytes/s) of every active transfer according to the model."""
-        if not active:
-            return {}
-        penalties = self._penalties_by_name(active)
-        single = self.technology.single_stream_bandwidth
-        memory = self.technology.memory_bandwidth
-        rates: Dict[Hashable, float] = {}
-        for transfer in active:
-            penalty = max(1.0, penalties[str(transfer.transfer_id)])
-            if transfer.is_intra_node:
-                rates[transfer.transfer_id] = memory / penalty
-            else:
-                rates[transfer.transfer_id] = single / penalty
-        return rates
+        """Rate (bytes/s) of every active transfer according to the model.
+
+        Compatibility shim over :meth:`update`: the full set is diffed
+        against the tracked one, the delta applied, and the stored rates of
+        the whole set returned.
+        """
+        self._sync(active)
+        return {t.transfer_id: self._rates[t.transfer_id] for t in active}
 
     def instantaneous_penalties(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
         """Model penalties of the in-flight transfers (diagnostic helper)."""
         if not active:
             return {}
-        penalties = self._penalties_by_name(active)
+        self._sync(active)
+        if self._engine is not None:
+            penalties = self._engine.penalties()
+        else:
+            penalties = self._full_penalties
         return {t.transfer_id: penalties[str(t.transfer_id)] for t in active}

@@ -11,6 +11,13 @@ execution engine in either of two modes:
   of the calibrated cluster emulator — this is the reproduction's stand-in
   for running the application on the real cluster and produces the
   "measured" times of Figures 7, 8 and 9.
+
+Both providers implement the delta rate contract of
+:mod:`repro.network.fluid`, so the engine below runs its event-calendar
+loop: per step, only the transfers re-priced by the step's flow delta are
+re-timed.  :attr:`Simulator.last_engine_stats` exposes the loop/calendar
+work counters of the most recent run (steps, rate updates, re-timings) —
+the quantity ``benchmarks/bench_scale_engine.py`` tracks.
 """
 
 from __future__ import annotations
@@ -54,6 +61,8 @@ class Simulator:
         self.config = config or EngineConfig()
         self.mode = mode
         self.model_name = model_name
+        #: loop/calendar work counters of the most recent run (see EngineLoopStats)
+        self.last_engine_stats: Optional[dict] = None
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -130,7 +139,9 @@ class Simulator:
             application_name=application.name,
             model_name=self.model_name,
         )
-        return engine.run()
+        report = engine.run()
+        self.last_engine_stats = engine.stats.snapshot()
+        return report
 
     def run_programs(
         self,
@@ -155,4 +166,6 @@ class Simulator:
             application_name=name,
             model_name=self.model_name,
         )
-        return engine.run()
+        report = engine.run()
+        self.last_engine_stats = engine.stats.snapshot()
+        return report

@@ -140,3 +140,26 @@ class TestCorruptionTolerance:
         cache.put(("k2",), {(0, 2): 2.0})
         cache.save()
         assert len(PersistentPenaltyCache.load(path)) == 2
+
+
+class TestPersistentCacheTelemetry:
+    def test_stats_include_persistence_details(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = PersistentPenaltyCache(path=path)
+        cache.put(("k", 1), {(0, 1): 1.5})
+        cache.get(("k", 1))
+        cache.save()
+        reloaded = PersistentPenaltyCache.load(path)
+        reloaded.get(("k", 1))
+        summary = reloaded.stats()
+        assert summary["loaded_entries"] == 1
+        assert summary["load_failed"] == 0.0
+        assert summary["hits"] == 1
+        assert summary["entries_never_hit"] == 0
+
+    def test_stats_flag_swallowed_load_failure(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{ not json", encoding="utf-8")
+        cache = PersistentPenaltyCache.load(path)
+        assert cache.stats()["load_failed"] == 1.0
+        assert cache.stats()["loaded_entries"] == 0

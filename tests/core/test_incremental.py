@@ -274,3 +274,72 @@ class TestMyrinetDecomposeContract:
             engine.add(c)
         with pytest.raises(ModelError):
             engine.penalties()
+
+
+class TestCacheTelemetry:
+    def test_hit_miss_and_eviction_counters(self):
+        cache = PenaltyCache(max_entries=2)
+        assert cache.get("a") is None            # miss
+        cache.put("a", {(0, 1): 1.5})
+        assert cache.get("a") == {(0, 1): 1.5}   # hit
+        assert cache.get("a") is not None        # hit again
+        cache.put("b", {(0, 1): 2.0})
+        cache.put("c", {(0, 1): 3.0})            # evicts "a" (2 earned hits)
+        summary = cache.stats()
+        assert summary["lookups"] == 3
+        assert summary["hits"] == 2
+        assert summary["misses"] == 1
+        assert summary["hit_rate"] == pytest.approx(2 / 3)
+        assert summary["evictions"] == 1
+        assert summary["evicted_entry_hits"] == 2
+        assert summary["entries"] == 2
+        assert summary["entries_never_hit"] == 2  # "b" and "c" never hit
+
+    def test_entry_hits_follow_lru_order(self):
+        cache = PenaltyCache()
+        cache.put("a", {(0, 1): 1.0})
+        cache.put("b", {(0, 1): 2.0})
+        cache.get("a")                            # refreshes "a" to MRU
+        assert cache.entry_hits() == [("b", 0), ("a", 1)]
+        assert cache.stats()["max_entry_hits"] == 1
+        assert cache.stats()["live_entry_hits"] == 1
+
+    def test_clear_resets_entry_hits(self):
+        cache = PenaltyCache()
+        cache.put("a", {(0, 1): 1.0})
+        cache.get("a")
+        cache.clear()
+        assert cache.entry_hits() == []
+        # traffic totals survive a clear (they describe the cache's lifetime)
+        assert cache.stats()["hits"] == 1
+
+
+class TestRefreshDeltaInterface:
+    def test_refresh_returns_only_repriced_communications(self):
+        engine = IncrementalPenaltyEngine(GigabitEthernetModel())
+        engine.add(comm("a", 0, 1))
+        engine.add(comm("b", 0, 2))
+        engine.add(comm("c", 5, 6))
+        first = engine.refresh()
+        assert set(first) == {"a", "b", "c"}
+        # a new flow conflicting only with c's component re-prices just it
+        engine.add(comm("d", 5, 7))
+        second = engine.refresh()
+        assert set(second) == {"c", "d"}
+        assert engine.penalties()["a"] == first["a"]
+
+    def test_refresh_reports_intra_node_arrivals(self):
+        engine = IncrementalPenaltyEngine(GigabitEthernetModel())
+        engine.add(comm("intra", 3, 3))
+        assert engine.refresh() == {"intra": 1.0}
+        assert engine.refresh() == {}
+
+    def test_refresh_reports_departure_fallout(self):
+        engine = IncrementalPenaltyEngine(GigabitEthernetModel())
+        engine.add(comm("a", 0, 1))
+        engine.add(comm("b", 0, 2))
+        engine.refresh()
+        engine.remove("a")
+        fallout = engine.refresh()
+        assert set(fallout) == {"b"}          # b's component was re-priced
+        assert fallout["b"] == 1.0            # and is now conflict-free

@@ -169,3 +169,96 @@ class TestCreditBasedNetwork:
         net = CreditBasedNetwork(INFINIBAND_INFINIHOST3)
         with pytest.raises(SimulationError):
             net.simulate([Transfer("a", 0, 1, MB), Transfer("a", 2, 3, MB)])
+
+
+class TestTransferCalendar:
+    """Unit tests of the shared event calendar (epoch staleness, delta bridge)."""
+
+    def test_rates_only_provider_falls_back_to_full_queries(self):
+        from repro.network.fluid import TransferCalendar
+        calendar = TransferCalendar(ConstantRateProvider(100.0))
+        assert calendar.delta is False
+
+    def test_delta_true_requires_an_update_method(self):
+        from repro.network.fluid import TransferCalendar
+        with pytest.raises(SimulationError):
+            TransferCalendar(ConstantRateProvider(100.0), delta=True)
+
+    def test_stale_entries_are_discarded_not_fired(self):
+        """A rate change supersedes the old completion entry via the epoch."""
+        from repro.network.fluid import TransferCalendar
+
+        class TwoPhase:
+            def __init__(self):
+                self.calls = 0
+
+            def rates(self, active):
+                self.calls += 1
+                rate = 10.0 if self.calls == 1 else 20.0
+                return {t.transfer_id: rate for t in active}
+
+        calendar = TransferCalendar(TwoPhase())
+        calendar.activate(Transfer("a", 0, 1, 100.0), now=0.0)
+        calendar.flush(0.0)
+        assert calendar.next_time() == pytest.approx(10.0)   # 100 B at 10 B/s
+        calendar.activate(Transfer("b", 2, 3, 1000.0), now=1.0)
+        calendar.flush(1.0)                                   # re-rates a to 20 B/s
+        # a: 90 B left at t=1, now at 20 B/s -> completes at 5.5
+        assert calendar.next_time() == pytest.approx(5.5)
+        done = calendar.pop_due(5.5)
+        assert [t.transfer_id for t in done] == ["a"]
+        assert calendar.stats.stale_entries >= 1              # the t=10 entry died
+
+    def test_unchanged_rate_value_keeps_the_entry(self):
+        from repro.network.fluid import TransferCalendar
+        provider = ConstantRateProvider(50.0)
+        calendar = TransferCalendar(provider)
+        calendar.activate(Transfer("a", 0, 1, 500.0), now=0.0)
+        calendar.flush(0.0)
+        first_retimed = calendar.stats.retimed
+        calendar.activate(Transfer("b", 2, 3, 500.0), now=2.0)
+        calendar.flush(2.0)   # a's rate comes back identical: no re-timing
+        assert calendar.stats.retimed == first_retimed + 1    # only b
+        assert calendar.next_time() == pytest.approx(10.0)
+
+    def test_fluid_simulator_records_calendar_stats(self):
+        sim = FluidTransferSimulator(SharedResourceProvider(100.0))
+        sim.run([Transfer("a", 0, 1, 500.0), Transfer("b", 0, 2, 1500.0)])
+        stats = sim.last_calendar_stats
+        assert stats is not None
+        assert stats["activations"] == 2
+        assert stats["completions"] == 2
+        assert stats["flushes"] >= 2
+
+    def test_delta_and_full_fluid_runs_identical(self):
+        """The delta bridge is bit-exact with per-step full re-queries."""
+        from repro.core import GigabitEthernetModel
+        from repro.simulator.providers import ModelRateProvider
+
+        transfers = [
+            Transfer(i, src=i % 3, dst=(i + 1) % 3 + 3, size=40000.0 + 1000.0 * i,
+                     start_time=0.002 * i)
+            for i in range(8)
+        ]
+        results = {}
+        for delta in (True, False):
+            provider = ModelRateProvider(GigabitEthernetModel(), "ethernet")
+            sim = FluidTransferSimulator(provider, delta=delta)
+            results[delta] = sim.run(transfers)
+        assert results[True] == results[False]
+
+    def test_provider_dropping_a_live_transfer_is_detected(self):
+        """A full-query provider that omits a previously rated transfer from
+        a later map must raise, not silently keep the stale rate."""
+
+        class Forgetful:
+            def rates(self, active):
+                # prices everything on the first call, then drops transfer "a"
+                return {t.transfer_id: 100.0 for t in active
+                        if t.transfer_id != "a" or len(active) == 1}
+
+        sim = FluidTransferSimulator(Forgetful())
+        transfers = [Transfer("a", 0, 1, 1000.0),
+                     Transfer("b", 2, 3, 500.0, start_time=1.0)]
+        with pytest.raises(SimulationError, match="no rate for"):
+            sim.run(transfers)

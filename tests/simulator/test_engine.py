@@ -228,3 +228,108 @@ class TestMpiRuntime:
 
         with pytest.raises(Exception):
             runtime.run(not_a_generator, num_tasks=2)
+
+
+class TestIterationBudgetDiagnostics:
+    def test_budget_error_describes_the_stuck_state(self, cluster):
+        """An engine that exhausts its budget reports time, task states and
+        in-flight counts instead of a bare one-liner."""
+
+        from repro.simulator.engine import ExecutionEngine
+        from repro.simulator.events import ComputeEvent
+        from repro.cluster import make_placement
+        from repro.core import NoContentionModel
+        from repro.simulator.providers import ModelRateProvider
+        from repro.exceptions import SimulationError
+
+        def forever():
+            while True:
+                yield ComputeEvent(duration=0.001)
+
+        engine = ExecutionEngine(
+            programs=[forever()],
+            placement=make_placement("RRN", cluster, 1),
+            rate_provider=ModelRateProvider(NoContentionModel(), "ethernet"),
+            technology="ethernet",
+            config=EngineConfig(iteration_factor=1),
+        )
+        with pytest.raises(SimulationError) as excinfo:
+            engine.run()
+        message = str(excinfo.value)
+        assert "exceeded its iteration budget" in message
+        assert "tasks by status" in message
+        assert "ready=1" in message
+        assert "in-flight transfers: 0" in message
+        assert "t=" in message
+
+
+class TestMatchingOrder:
+    def test_wildcard_recv_posted_first_wins(self, cluster):
+        """A wildcard recv posted before a specific one matches first —
+        posted-order tie-breaking across the wildcard/specific buckets."""
+        app = Application(num_tasks=3)
+        app.add_recv(0, ANY_SOURCE, tag=7)     # posted first
+        app.add_recv(0, 2, tag=7)              # specific, posted second
+        app.add_send(1, 0, 2 * MB, tag=7)
+        app.add_send(2, 0, 2 * MB, tag=7)
+        report = simple_simulator(cluster).run(app, placement="RRN")
+        recvs = report.records_for(0, "recv")
+        # rank 1's send (processed first) matches the wildcard recv
+        assert recvs[0].peer == 1
+        assert recvs[1].peer == 2
+
+    def test_eager_arrivals_match_in_arrival_order(self, cluster):
+        """Parked eager messages are consumed oldest-arrival-first."""
+        app = Application(num_tasks=2)
+        app.add_send(0, 1, 4 * KiB, tag=3, label="first")
+        app.add_send(0, 1, 4 * KiB, tag=3, label="second")
+        app.add_compute(1, duration=1.0)       # both messages park at rank 1
+        app.add_recv(1, 0, tag=3)
+        app.add_recv(1, 0, tag=3)
+        report = simple_simulator(cluster).run(app, placement="RRN")
+        recvs = report.records_for(1, "recv")
+        assert [r.size for r in recvs] == [4 * KiB, 4 * KiB]
+        sends = report.records_for(0, "send")
+        assert sends[0].end <= sends[1].end
+
+    def test_unclaimed_flight_attach_prefers_earliest_posted(self, cluster):
+        """A late wildcard recv attaches to the earliest-posted in-flight
+        transfer, not an arbitrary one."""
+        app = Application(num_tasks=3)
+        app.add_compute(2, duration=0.001)
+        app.add_send(1, 0, 30 * MB, tag=1)     # rendezvous-size but recv below
+        app.add_send(2, 0, 30 * MB, tag=1)     # posted ~0.001 s later
+        app.add_recv(0, ANY_SOURCE, tag=1)
+        app.add_recv(0, ANY_SOURCE, tag=1)
+        report = simple_simulator(cluster).run(app, placement="RRN")
+        recvs = report.records_for(0, "recv")
+        assert recvs[0].peer == 1              # earliest posted send first
+
+
+class TestDeltaEngineWork:
+    def test_delta_mode_retimes_fewer_transfers(self, cluster):
+        """On a contended workload the delta engine re-prices only dirtied
+        components while the full-requery engine touches every transfer."""
+        big = custom_cluster(num_nodes=16, cores_per_node=1, technology="ethernet")
+        app = Application(num_tasks=16)
+        for group in range(4):
+            leader = group * 4
+            # stagger the groups so one group's completions leave the other
+            # groups' conflict components untouched
+            for offset in range(4):
+                app.add_compute(leader + offset, duration=0.003 * group)
+            for member in range(1, 4):
+                app.add_send(leader + member, leader, (5 + group) * MB, tag=group)
+                app.add_recv(leader, member + leader, tag=group)
+        outcomes = {}
+        for delta in (True, False):
+            sim = Simulator.predictive(
+                big, model=GigabitEthernetModel(),
+                config=EngineConfig(delta_rates=delta),
+            )
+            report = sim.run(app, placement="RRP")
+            outcomes[delta] = (report.records, sim.last_engine_stats)
+        records_delta, stats_delta = outcomes[True]
+        records_full, stats_full = outcomes[False]
+        assert records_delta == records_full
+        assert stats_delta["rate_updates"] < stats_full["rate_updates"]
