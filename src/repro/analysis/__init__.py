@@ -9,6 +9,7 @@ from .errors import (
     relative_error,
     relative_errors,
 )
+from .interference import interference_slowdown_table, interference_slowdowns
 from .reference import (
     ETHERNET_PAPER_PARAMETERS,
     FIGURE2_PENALTIES,
@@ -46,4 +47,6 @@ __all__ = [
     "penalty_ladder_table",
     "measured_vs_predicted_table",
     "per_task_error_table",
+    "interference_slowdowns",
+    "interference_slowdown_table",
 ]

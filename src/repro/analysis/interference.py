@@ -1,0 +1,91 @@
+"""Foreground slowdown under interference — campaign-level analysis.
+
+A campaign sweeping an ``interference`` axis (see
+:mod:`repro.campaign.spec`) runs every application scenario once per
+injector configuration.  This module pairs each *loaded* scenario with its
+*clean* twin (the scenario sharing every sweep coordinate except the
+interference entry, with interference ``"none"``) and reports the
+foreground slowdown — the ratio of the loaded makespan to the clean one,
+the quantity ``benchmarks/bench_interference.py`` tracks over background
+intensity.
+
+The functions are duck-typed over
+:class:`~repro.campaign.results.CampaignResultStore` (anything iterable
+yielding objects with ``axes`` and ``metrics`` mappings works), so stored
+JSON results round-trip through them unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .tables import render_table
+
+__all__ = ["interference_slowdowns", "interference_slowdown_table"]
+
+#: the sweep coordinates that identify a scenario's clean twin
+_GROUP_AXES = ("kind", "workload", "network", "model", "num_hosts",
+               "placement", "seed")
+
+
+def _group_key(axes: Dict[str, Any]) -> Tuple[Any, ...]:
+    return tuple(axes.get(name) for name in _GROUP_AXES)
+
+
+def interference_slowdowns(store: Iterable) -> List[Dict[str, Any]]:
+    """Slowdown rows of every application scenario of a campaign.
+
+    Each row carries the scenario's sweep coordinates, its interference
+    name, its ``total_time``, the clean twin's ``baseline_time`` and the
+    ``slowdown`` ratio (``None`` when no clean twin exists in the store,
+    e.g. a campaign that only ran loaded fabrics).  Rows come back in
+    scenario order; graph scenarios (no time dimension, never loaded) are
+    skipped.
+    """
+    results = [r for r in store
+               if r.axes.get("interference") is not None]
+    baselines: Dict[Tuple[Any, ...], float] = {}
+    for result in results:
+        if result.axes["interference"] == "none":
+            baselines[_group_key(result.axes)] = float(
+                result.metrics.get("total_time", 0.0)
+            )
+    rows: List[Dict[str, Any]] = []
+    for result in results:
+        axes = result.axes
+        total_time = float(result.metrics.get("total_time", 0.0))
+        baseline: Optional[float] = baselines.get(_group_key(axes))
+        slowdown: Optional[float] = None
+        if baseline is not None and baseline > 0.0:
+            slowdown = total_time / baseline
+        row = {name: axes.get(name) for name in _GROUP_AXES}
+        row.update({
+            "scenario_id": axes.get("scenario_id"),
+            "interference": axes["interference"],
+            "total_time": total_time,
+            "baseline_time": baseline,
+            "slowdown": slowdown,
+        })
+        rows.append(row)
+    return rows
+
+
+def interference_slowdown_table(store: Iterable) -> str:
+    """Paper-style text table of :func:`interference_slowdowns`."""
+    rows = interference_slowdowns(store)
+    body = []
+    for row in rows:
+        body.append([
+            row["scenario_id"], row["workload"], row["network"],
+            row["placement"] or "-", row["interference"],
+            row["total_time"],
+            "-" if row["baseline_time"] is None else row["baseline_time"],
+            "-" if row["slowdown"] is None else row["slowdown"],
+        ])
+    return render_table(
+        ["scenario", "workload", "network", "placement", "interference",
+         "T [s]", "clean T [s]", "slowdown"],
+        body,
+        title=f"foreground slowdown under interference ({len(rows)} scenarios)",
+        float_format="{:.4f}",
+    )

@@ -20,10 +20,11 @@ Shell entry point: ``python -m repro campaign --spec campaign.json``.
 from .persistence import PersistentPenaltyCache, canonical_key
 from .results import CampaignResultStore, ScenarioResult
 from .runner import CampaignRunner, resolve_model
-from .spec import CampaignSpec, ScenarioSpec, WorkloadSpec
+from .spec import CampaignSpec, InterferenceSpec, ScenarioSpec, WorkloadSpec
 
 __all__ = [
     "CampaignSpec",
+    "InterferenceSpec",
     "ScenarioSpec",
     "WorkloadSpec",
     "CampaignRunner",

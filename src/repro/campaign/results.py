@@ -24,8 +24,8 @@ __all__ = ["ScenarioResult", "CampaignResultStore"]
 #: fixed CSV/table columns (metrics beyond these stay in the JSON export)
 _ROW_COLUMNS = (
     "scenario_id", "kind", "workload", "network", "model", "num_hosts",
-    "placement", "seed", "num_communications", "mean_penalty", "max_penalty",
-    "total_time",
+    "placement", "seed", "interference", "num_communications", "mean_penalty",
+    "max_penalty", "total_time",
 )
 
 
@@ -104,12 +104,13 @@ class CampaignResultStore:
             row = result.row()
             rows.append([
                 row["scenario_id"], row["network"], row["model"],
-                row["placement"] or "-", row["num_communications"],
+                row["placement"] or "-", row["interference"] or "-",
+                row["num_communications"],
                 row["mean_penalty"], row["max_penalty"], row["total_time"],
             ])
         return render_table(
-            ["scenario", "network", "model", "placement", "comms",
-             "mean P", "max P", "total T [s]"],
+            ["scenario", "network", "model", "placement", "interference",
+             "comms", "mean P", "max P", "total T [s]"],
             rows,
             title=f"campaign {self.campaign!r}: {len(self.results)} scenarios",
             float_format="{:.4f}",

@@ -46,6 +46,7 @@ from ..core.penalty import ContentionModel, LinearCostModel
 from ..core.registry import get_model, model_for_network
 from ..exceptions import ModelError, WorkloadError
 from ..network.technologies import get_technology
+from ..simulator.engine import EngineConfig
 from ..simulator.providers import ModelRateProvider
 from ..simulator.simulator import Simulator
 from .persistence import PersistentPenaltyCache
@@ -120,8 +121,10 @@ def _execute_app_scenario(
     )
     model = resolve_model(scenario.model, scenario.network)
     provider = ModelRateProvider(model, cluster.technology, cache=cache)
+    injectors = scenario.build_injectors()
+    config = EngineConfig(injectors=injectors) if injectors else None
     simulator = Simulator(
-        cluster, provider, technology=cluster.technology,
+        cluster, provider, technology=cluster.technology, config=config,
         mode="predictive", model_name=model.name,
     )
     report = simulator.run(

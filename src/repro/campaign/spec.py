@@ -34,13 +34,27 @@ Spec dict / JSON format::
       "models": ["auto"],
       "host_counts": [8, 16],
       "placements": ["RRP", "RRN"],
-      "seeds": [0]
+      "seeds": [0],
+      "interference": [
+        "none",
+        {"name": "loaded",
+         "background": {"rate": 200, "size": "4M", "max_flows": 64},
+         "link_degradation": {"factor": 0.5, "start": 0.0, "until": 0.2}}
+      ]
     }
 
 ``"auto"`` selects the paper's model for the scenario's network.  Axes that a
 workload does not consume are collapsed (library schemes ignore the host
-count, graph workloads ignore placements) so the expansion never produces
-duplicate scenarios.
+count, graph workloads ignore placements, and only application workloads —
+which run through the execution engine — sweep the ``interference`` axis) so
+the expansion never produces duplicate scenarios.
+
+The ``interference`` axis sweeps clean vs. loaded fabrics: each entry is
+either the string ``"none"`` or a mapping with a ``name`` plus any of the
+``background`` / ``link_degradation`` / ``node_slowdown`` sections, whose
+keyword parameters feed the injector constructors of
+:mod:`repro.simulator.interference` (the scenario seed offsets the
+background injector's seed, so repetitions decorrelate the interference).
 """
 
 from __future__ import annotations
@@ -52,9 +66,10 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cluster.placement import PLACEMENT_POLICIES
 from ..core.graph import CommunicationGraph
-from ..exceptions import WorkloadError
+from ..exceptions import ReproError, WorkloadError
 from ..scheme.library import get_scheme
 from ..simulator.application import Application
+from ..simulator.interference import Injector, build_injectors
 from ..units import MB, parse_size
 from ..workloads import (
     bipartite_fan_scheme,
@@ -69,7 +84,7 @@ from ..workloads import (
     ring_allgather,
 )
 
-__all__ = ["WorkloadSpec", "ScenarioSpec", "CampaignSpec"]
+__all__ = ["WorkloadSpec", "InterferenceSpec", "ScenarioSpec", "CampaignSpec"]
 
 
 GRAPH_KINDS = ("scheme", "synthetic")
@@ -147,6 +162,105 @@ class WorkloadSpec:
         )
 
 
+def _freeze(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def _thaw(value: Any) -> Any:
+    if isinstance(value, tuple):
+        return [_thaw(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class InterferenceSpec:
+    """One interference-axis entry: a named injector configuration.
+
+    Pure data (picklable, like every spec): the sections hold the keyword
+    parameters of the matching injector constructors in
+    :mod:`repro.simulator.interference`, stored as sorted item tuples.  The
+    default instance is the clean fabric (``name="none"``, no sections).
+    """
+
+    name: str = "none"
+    background: Tuple[Tuple[str, Any], ...] = ()
+    link_degradation: Tuple[Tuple[str, Any], ...] = ()
+    node_slowdown: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        try:
+            self.build_injectors(seed=0)
+        except ReproError:
+            raise
+        except TypeError as exc:
+            raise WorkloadError(f"bad interference spec {self.name!r}: {exc}") from exc
+
+    @property
+    def is_clean(self) -> bool:
+        """True when the configuration provably injects nothing."""
+        return not self.build_injectors(seed=0)
+
+    def _section(self, field_name: str) -> Optional[Dict[str, Any]]:
+        items = getattr(self, field_name)
+        if not items:
+            return None
+        params = {key: _thaw(value) for key, value in items}
+        if isinstance(params.get("size"), str):
+            params["size"] = parse_size(params["size"])
+        return params
+
+    def build_injectors(self, seed: Optional[int] = None) -> Tuple[Injector, ...]:
+        """Materialize the injectors (``seed`` offsets the background seed)."""
+        return build_injectors(
+            background=self._section("background"),
+            link_degradation=self._section("link_degradation"),
+            node_slowdown=self._section("node_slowdown"),
+            seed=seed,
+        )
+
+    # ------------------------------------------------------------- loaders
+    def to_dict(self) -> Union[str, Dict[str, Any]]:
+        if not (self.background or self.link_degradation or self.node_slowdown):
+            return self.name
+        data: Dict[str, Any] = {"name": self.name}
+        for field_name in ("background", "link_degradation", "node_slowdown"):
+            items = getattr(self, field_name)
+            if items:
+                data[field_name] = {key: _thaw(value) for key, value in items}
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Dict[str, Any]]) -> "InterferenceSpec":
+        if isinstance(data, str):
+            if data != "none":
+                raise WorkloadError(
+                    f"unknown interference shorthand {data!r} (only 'none')"
+                )
+            return cls()
+        if not isinstance(data, dict):
+            raise WorkloadError(f"interference entry must be 'none' or a mapping, "
+                                f"got {data!r}")
+        unknown = set(data) - {"name", "background", "link_degradation",
+                               "node_slowdown"}
+        if unknown:
+            raise WorkloadError(f"unknown interference spec keys: {sorted(unknown)}")
+        kwargs: Dict[str, Any] = {}
+        for field_name in ("background", "link_degradation", "node_slowdown"):
+            section = data.get(field_name)
+            if section is None:
+                continue
+            if not isinstance(section, dict):
+                raise WorkloadError(
+                    f"interference section {field_name!r} must be a mapping"
+                )
+            kwargs[field_name] = tuple(sorted(
+                (str(key), _freeze(value)) for key, value in section.items()
+            ))
+        return cls(name=str(data.get("name", "interference")), **kwargs)
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """One fully-resolved point of the sweep (pure data, picklable)."""
@@ -158,6 +272,9 @@ class ScenarioSpec:
     num_hosts: Optional[int]
     placement: Optional[str]
     seed: Optional[int]
+    #: interference configuration; ``None`` for workloads that cannot be
+    #: loaded (static graph pricing has no time dimension)
+    interference: Optional[InterferenceSpec] = None
 
     @property
     def is_application(self) -> bool:
@@ -174,7 +291,14 @@ class ScenarioSpec:
             "num_hosts": self.num_hosts,
             "placement": self.placement,
             "seed": self.seed,
+            "interference": self.interference.name if self.interference else None,
         }
+
+    def build_injectors(self) -> Tuple[Injector, ...]:
+        """Injectors of this scenario (empty for clean/graph scenarios)."""
+        if self.interference is None:
+            return ()
+        return self.interference.build_injectors(seed=self.seed)
 
     # ------------------------------------------------------------- builders
     def build_graph(self) -> CommunicationGraph:
@@ -244,12 +368,16 @@ class CampaignSpec:
     host_counts: List[int] = field(default_factory=lambda: [16])
     placements: List[str] = field(default_factory=lambda: ["RRP"])
     seeds: List[int] = field(default_factory=lambda: [0])
+    interference: List[InterferenceSpec] = field(
+        default_factory=lambda: [InterferenceSpec()]
+    )
     cores_per_node: int = 2
 
     def __post_init__(self) -> None:
         if not self.workloads:
             raise WorkloadError(f"campaign {self.name!r} has no workloads")
-        for axis_name in ("networks", "models", "host_counts", "placements", "seeds"):
+        for axis_name in ("networks", "models", "host_counts", "placements",
+                          "seeds", "interference"):
             if not getattr(self, axis_name):
                 raise WorkloadError(f"campaign {self.name!r} has an empty {axis_name} axis")
         for placement in self.placements:
@@ -279,28 +407,38 @@ class CampaignSpec:
             seed_axis: Sequence[Optional[int]] = (
                 self.seeds if workload.uses_seed else [None]
             )
+            # only application workloads run through the execution engine,
+            # so only they can be loaded with interference
+            interference_axis: Sequence[Optional[InterferenceSpec]] = (
+                self.interference if workload.is_application else [None]
+            )
             for network in self.networks:
                 for model in self.models:
                     for hosts in hosts_axis:
                         for placement in placement_axis:
                             for seed in seed_axis:
-                                parts = [f"{len(scenarios):03d}", workload.name,
-                                         network, model]
-                                if hosts is not None:
-                                    parts.append(f"h{hosts}")
-                                if placement is not None:
-                                    parts.append(placement)
-                                if seed is not None:
-                                    parts.append(f"s{seed}")
-                                scenarios.append(ScenarioSpec(
-                                    scenario_id="-".join(parts),
-                                    workload=workload,
-                                    network=network,
-                                    model=model,
-                                    num_hosts=hosts,
-                                    placement=placement,
-                                    seed=seed,
-                                ))
+                                for interference in interference_axis:
+                                    parts = [f"{len(scenarios):03d}", workload.name,
+                                             network, model]
+                                    if hosts is not None:
+                                        parts.append(f"h{hosts}")
+                                    if placement is not None:
+                                        parts.append(placement)
+                                    if seed is not None:
+                                        parts.append(f"s{seed}")
+                                    if interference is not None and \
+                                            interference.name != "none":
+                                        parts.append(interference.name)
+                                    scenarios.append(ScenarioSpec(
+                                        scenario_id="-".join(parts),
+                                        workload=workload,
+                                        network=network,
+                                        model=model,
+                                        num_hosts=hosts,
+                                        placement=placement,
+                                        seed=seed,
+                                        interference=interference,
+                                    ))
         return scenarios
 
     def __len__(self) -> int:
@@ -316,6 +454,7 @@ class CampaignSpec:
             "host_counts": list(self.host_counts),
             "placements": list(self.placements),
             "seeds": list(self.seeds),
+            "interference": [i.to_dict() for i in self.interference],
             "cores_per_node": self.cores_per_node,
         }
 
@@ -325,7 +464,7 @@ class CampaignSpec:
             raise WorkloadError(f"campaign spec must be a mapping, got {type(data).__name__}")
         unknown = set(data) - {
             "name", "workloads", "networks", "models", "host_counts",
-            "placements", "seeds", "cores_per_node",
+            "placements", "seeds", "interference", "cores_per_node",
         }
         if unknown:
             raise WorkloadError(f"unknown campaign spec keys: {sorted(unknown)}")
@@ -338,6 +477,10 @@ class CampaignSpec:
             kwargs["host_counts"] = [int(v) for v in data["host_counts"]]
         if "seeds" in data:
             kwargs["seeds"] = [int(v) for v in data["seeds"]]
+        if "interference" in data:
+            kwargs["interference"] = [
+                InterferenceSpec.from_dict(entry) for entry in data["interference"]
+            ]
         if "cores_per_node" in data:
             kwargs["cores_per_node"] = int(data["cores_per_node"])
         return cls(name=str(data.get("name", "campaign")), workloads=workloads, **kwargs)

@@ -19,6 +19,16 @@ Examples::
     python -m repro measure --network ethernet --scheme-file conflict.scm
     python -m repro calibrate --network ethernet
     python -m repro campaign --spec sweep.json --workers 4 --cache penalties.json
+    python -m repro simulate --workload broadcast --hosts 8 --bg-rate 200 \\
+        --bg-size 4M --degrade-factor 0.5 --degrade-until 0.2
+
+``simulate`` runs one application workload through the predictive (or
+emulated) simulator, optionally on a *loaded* fabric: background traffic,
+link degradation and node slowdown injectors
+(:mod:`repro.simulator.interference`) are configured from flags and the
+loaded run is reported next to its clean twin with the foreground slowdown.
+The ``campaign`` spec's ``interference`` axis does the same sweep
+declaratively.
 """
 
 from __future__ import annotations
@@ -28,14 +38,22 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .analysis import render_table
+from .analysis import interference_slowdown_table, render_table
 from .benchmark import PenaltyTool
-from .campaign import CampaignRunner, CampaignSpec, PersistentPenaltyCache
+from .campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    InterferenceSpec,
+    PersistentPenaltyCache,
+)
+from .campaign.spec import COLLECTIVE_PATTERNS, ScenarioSpec, WorkloadSpec
+from .cluster.spec import custom_cluster
 from .core import LinearCostModel, calibrate_from_measurer, get_model, model_for_network
 from .core.graph import CommunicationGraph
 from .exceptions import ReproError
 from .network import get_technology
 from .scheme import parse_scheme
+from .simulator import EngineConfig, Simulator
 from .units import MB, parse_size
 
 __all__ = ["main", "build_parser"]
@@ -96,6 +114,9 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                             backend=args.backend)
     store = runner.run()
     print(store.summary_table())
+    if any(r.axes.get("interference") not in (None, "none") for r in store):
+        print()
+        print(interference_slowdown_table(store))
     stats = store.stats
     print(
         f"\n{len(store)} scenarios | model evaluations: "
@@ -111,6 +132,106 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     if args.csv:
         store.to_csv(args.csv)
         print(f"CSV rows written to {args.csv}")
+    return 0
+
+
+def _interference_from_args(args: argparse.Namespace) -> InterferenceSpec:
+    """Fold the ``simulate`` injector flags into an InterferenceSpec."""
+    background = {}
+    if args.bg_rate > 0:
+        background = {
+            "rate": args.bg_rate,
+            "size": parse_size(args.bg_size) if args.bg_size else 4 * MB,
+            "seed": args.bg_seed,
+        }
+        if args.bg_max_flows is not None:
+            background["max_flows"] = args.bg_max_flows
+        if args.bg_until is not None:
+            background["until"] = args.bg_until
+    degradation = {}
+    if args.degrade_factor != 1.0:
+        degradation = {"factor": args.degrade_factor, "start": args.degrade_start}
+        if args.degrade_until is not None:
+            degradation["until"] = args.degrade_until
+        if args.degrade_hosts:
+            degradation["hosts"] = [int(h) for h in args.degrade_hosts.split(",")]
+    slowdown = {}
+    if args.slowdown_factor != 1.0:
+        slowdown = {"factor": args.slowdown_factor, "start": args.slowdown_start}
+        if args.slowdown_until is not None:
+            slowdown["until"] = args.slowdown_until
+        if args.slowdown_hosts:
+            slowdown["hosts"] = [int(h) for h in args.slowdown_hosts.split(",")]
+    spec = {"name": "loaded"}
+    if background:
+        spec["background"] = background
+    if degradation:
+        spec["link_degradation"] = degradation
+    if slowdown:
+        spec["node_slowdown"] = slowdown
+    if len(spec) == 1:
+        return InterferenceSpec()  # clean
+    return InterferenceSpec.from_dict(spec)
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    kind = "linpack" if args.workload == "linpack" else "collective"
+    if kind == "collective" and args.workload not in COLLECTIVE_PATTERNS:
+        raise ReproError(
+            f"unknown workload {args.workload!r}; known: "
+            f"{', '.join(COLLECTIVE_PATTERNS + ('linpack',))}"
+        )
+    params = {"num_tasks": args.tasks or args.hosts}
+    if kind == "linpack":
+        params["problem_size"] = args.problem_size
+        params["block_size"] = args.block_size
+    else:
+        params["size"] = parse_size(args.size) if args.size else 1 * MB
+    workload = WorkloadSpec(kind=kind, name=args.workload,
+                            params=tuple(sorted(params.items())))
+    interference = _interference_from_args(args)
+    scenario = ScenarioSpec(
+        scenario_id=f"simulate-{args.workload}",
+        workload=workload, network=args.network, model="auto",
+        num_hosts=args.hosts, placement=args.placement, seed=args.seed,
+        interference=interference,
+    )
+    application = scenario.build_application()
+    cluster = custom_cluster(num_nodes=args.hosts,
+                             cores_per_node=args.cores_per_node,
+                             technology=args.network)
+
+    def run(injectors):
+        config = EngineConfig(injectors=injectors)
+        if args.mode == "emulated":
+            simulator = Simulator.emulated(cluster, config=config)
+        else:
+            simulator = Simulator.predictive(cluster, config=config)
+        report = simulator.run(application, placement=args.placement,
+                               seed=args.seed)
+        return report, simulator.last_engine_stats
+
+    clean_report, _ = run(())
+    rows = [["clean", clean_report.total_time, clean_report.average_penalty, 0, 0]]
+    injectors = scenario.build_injectors()
+    if injectors:
+        loaded_report, stats = run(injectors)
+        rows.append(["loaded", loaded_report.total_time,
+                     loaded_report.average_penalty,
+                     stats["background_flows"], stats["injected_events"]])
+    print(render_table(
+        ["fabric", "total T [s]", "mean penalty", "bg flows", "events"],
+        rows,
+        title=(f"{application.name}: {application.num_tasks} tasks on "
+               f"{args.hosts}x {args.network} ({args.mode}, {args.placement})"),
+        float_format="{:.4f}",
+    ))
+    if injectors:
+        for injector in injectors:
+            print(f"injector: {injector.describe()}")
+        if clean_report.total_time > 0:
+            slowdown = loaded_report.total_time / clean_report.total_time
+            print(f"foreground slowdown: {slowdown:.3f}x")
     return 0
 
 
@@ -168,6 +289,47 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--csv", default=None,
                           help="write summary rows as CSV to this path")
     campaign.set_defaults(handler=cmd_campaign)
+
+    simulate = sub.add_parser(
+        "simulate",
+        help="simulate one application workload, optionally on a loaded fabric",
+    )
+    simulate.add_argument("--workload", default="broadcast",
+                          help="collective pattern (broadcast, ring-allgather, "
+                               "flat-gather, alltoall) or 'linpack'")
+    simulate.add_argument("--network", default="ethernet")
+    simulate.add_argument("--hosts", type=int, default=8)
+    simulate.add_argument("--tasks", type=int, default=None,
+                          help="MPI tasks (defaults to --hosts)")
+    simulate.add_argument("--size", default=None,
+                          help="collective message size (e.g. 1M)")
+    simulate.add_argument("--problem-size", type=int, default=4000)
+    simulate.add_argument("--block-size", type=int, default=200)
+    simulate.add_argument("--placement", default="RRP")
+    simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument("--cores-per-node", type=int, default=2)
+    simulate.add_argument("--mode", choices=["predictive", "emulated"],
+                          default="predictive")
+    simulate.add_argument("--bg-rate", type=float, default=0.0,
+                          help="background flow arrivals per second (0 = off)")
+    simulate.add_argument("--bg-size", default=None,
+                          help="background flow size (default 4M)")
+    simulate.add_argument("--bg-seed", type=int, default=0)
+    simulate.add_argument("--bg-max-flows", type=int, default=None)
+    simulate.add_argument("--bg-until", type=float, default=None)
+    simulate.add_argument("--degrade-factor", type=float, default=1.0,
+                          help="link capacity multiplier during the window (1 = off)")
+    simulate.add_argument("--degrade-start", type=float, default=0.0)
+    simulate.add_argument("--degrade-until", type=float, default=None)
+    simulate.add_argument("--degrade-hosts", default=None,
+                          help="comma-separated host ids (default: all)")
+    simulate.add_argument("--slowdown-factor", type=float, default=1.0,
+                          help="compute-rate multiplier during the window (1 = off)")
+    simulate.add_argument("--slowdown-start", type=float, default=0.0)
+    simulate.add_argument("--slowdown-until", type=float, default=None)
+    simulate.add_argument("--slowdown-hosts", default=None,
+                          help="comma-separated host ids (default: all)")
+    simulate.set_defaults(handler=cmd_simulate)
 
     calibrate = sub.add_parser("calibrate", help="estimate (beta, gamma_o, gamma_i)")
     calibrate.add_argument("--network", default="ethernet")

@@ -35,6 +35,16 @@ same-endpoint flows receive equal rates in the unique max-min solution), so
 repeated sharing situations — ubiquitous in iterative workloads — are
 dictionary lookups instead of solver runs.
 
+The provider is **delta-scaled**: the endpoint-pair multiset that keys the
+memo is maintained incrementally (a sorted pair list updated by bisection
+per arrival/departure, instead of re-sorting the active set on every query),
+per-transfer rates are kept in an incrementally-updated map, and the changed
+set an ``update(added, removed)`` call reports is derived by value-diffing
+the allocation *per endpoint pair* against the previous one — so a memoized
+flush costs O(delta + distinct pairs) instead of O(active × log active).
+The full-set ``rates(active)`` call is a compatibility shim that diffs the
+requested set against the tracked one and applies the delta.
+
 On a cache miss the water-filling is additionally *warm-started*: when
 exactly one flow arrived or departed since the previous allocation, only the
 coupling component of the changed flow (flows transitively sharing an
@@ -47,6 +57,7 @@ full re-solve up to floating-point summation order.
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -106,11 +117,20 @@ class EmulatorRateProvider:
         self.cache_misses = 0
         self.warm_start = bool(warm_start)
         self.warm_starts = 0
-        #: previous allocation, for the warm-start delta path
-        self._last_pairs: Optional[Dict[Hashable, Tuple[int, int]]] = None
-        self._last_rates: Dict[Hashable, float] = {}
         #: tracked active set, for the delta contract (:meth:`update`)
         self._active: Dict[Hashable, Transfer] = {}
+        #: incremental endpoint multiset: pair per transfer, transfers per
+        #: pair, and the sorted pair list that keys the memo (bisect-updated)
+        self._pair_of_tid: Dict[Hashable, Tuple[int, int]] = {}
+        self._tids_of_pair: Dict[Tuple[int, int], Dict[Hashable, None]] = {}
+        self._sorted_pairs: List[Tuple[int, int]] = []
+        #: incrementally maintained per-transfer rates and the per-pair
+        #: allocation they came from (the value-diff baseline); ``None``
+        #: baseline = report every pair on the next allocation
+        self._rates_by_tid: Dict[Hashable, float] = {}
+        self._last_by_pair: Optional[Dict[Tuple[int, int], float]] = None
+        #: True once an allocation exists (warm starts need a predecessor)
+        self._primed = False
 
     def _rebuild_namespace(self) -> None:
         self._namespace = (
@@ -123,14 +143,16 @@ class EmulatorRateProvider:
         A private cache is cleared outright; on a shared cache only this
         provider's entries are retired (by bumping the namespace epoch), so
         other providers pooling the cache keep their valid entries.  The
-        warm-start state is dropped either way.
+        warm-start state and the stored rates are dropped either way, so the
+        next query re-solves and re-reports everything.
         """
         self._epoch += 1
         self._rebuild_namespace()
         if self._owns_cache:
             self._rate_cache.clear()
-        self._last_pairs = None
-        self._last_rates = {}
+        self._rates_by_tid = {}
+        self._last_by_pair = None
+        self._primed = False
 
     # ---------------------------------------------------------------- helpers
     def _directional_counts(self, active: Sequence[Transfer]) -> Dict[int, Dict[str, int]]:
@@ -189,8 +211,10 @@ class EmulatorRateProvider:
         return specs
 
     # -------------------------------------------------------------- interface
-    def _situation_key(self, active: Sequence[Transfer]) -> Hashable:
-        return (self._namespace, tuple(sorted((t.src, t.dst) for t in active)))
+    def _situation_key(self) -> Hashable:
+        """Memo key of the tracked situation — O(active) tuple copy of the
+        incrementally maintained sorted pair list (no re-sort)."""
+        return (self._namespace, tuple(self._sorted_pairs))
 
     def _solve(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
         counts = self._directional_counts(active)
@@ -234,49 +258,60 @@ class EmulatorRateProvider:
                     frontier.extend(self._coupling_keys(transfer.src, transfer.dst))
         return component
 
-    def _solve_incremental(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
+    def _solve_incremental(
+        self,
+        active: Sequence[Transfer],
+        changed_pairs: Sequence[Tuple[int, int]],
+    ) -> Dict[Hashable, float]:
         """Full solve, or a component-scoped re-solve after a one-flow delta."""
-        previous = self._last_pairs
-        if not self.warm_start or previous is None:
+        if not self.warm_start or not self._primed or len(changed_pairs) != 1:
             return self._solve(active)
-        current: Dict[Hashable, Tuple[int, int]] = {}
-        changed: List[Tuple[int, int]] = []
-        for transfer in active:
-            pair = (transfer.src, transfer.dst)
-            current[transfer.transfer_id] = pair
-            known = previous.get(transfer.transfer_id)
-            if known is None:
-                changed.append(pair)
-            elif known != pair:
-                return self._solve(active)  # transfer id re-used with new endpoints
-        changed.extend(pair for tid, pair in previous.items() if tid not in current)
-        if len(changed) != 1 or len(current) != len(active):
-            return self._solve(active)
-        component = self._coupled_component(active, changed[0])
         rates: Dict[Hashable, float] = {}
+        component = self._coupled_component(active, changed_pairs[0])
         for transfer in active:
-            if transfer.transfer_id in component:
+            tid = transfer.transfer_id
+            if tid in component:
                 continue
-            rate = self._last_rates.get(transfer.transfer_id)
+            rate = self._rates_by_tid.get(tid)
             if rate is None:  # bookkeeping gap: fall back to the exact path
                 return self._solve(active)
-            rates[transfer.transfer_id] = rate
+            rates[tid] = rate
         scoped = [t for t in active if t.transfer_id in component]
         if scoped:
             rates.update(self._solve(scoped))
         self.warm_starts += 1
         return rates
 
-    def _remember(self, active: Sequence[Transfer], rates: Mapping[Hashable, float]) -> None:
-        self._last_pairs = {t.transfer_id: (t.src, t.dst) for t in active}
-        self._last_rates = {t.transfer_id: rates[t.transfer_id] for t in active}
-
     # --------------------------------------------------------------- deltas
     def reset(self) -> None:
         """Forget the tracked active set and warm-start state (memo survives)."""
         self._active = {}
-        self._last_pairs = None
-        self._last_rates = {}
+        self._pair_of_tid = {}
+        self._tids_of_pair = {}
+        self._sorted_pairs = []
+        self._rates_by_tid = {}
+        self._last_by_pair = None
+        self._primed = False
+
+    def _track(self, transfer: Transfer) -> Tuple[int, int]:
+        tid = transfer.transfer_id
+        pair = (transfer.src, transfer.dst)
+        self._active[tid] = transfer
+        self._pair_of_tid[tid] = pair
+        self._tids_of_pair.setdefault(pair, {})[tid] = None
+        bisect.insort(self._sorted_pairs, pair)
+        return pair
+
+    def _untrack(self, tid: Hashable) -> Tuple[int, int]:
+        del self._active[tid]
+        pair = self._pair_of_tid.pop(tid)
+        bucket = self._tids_of_pair[pair]
+        del bucket[tid]
+        if not bucket:
+            del self._tids_of_pair[pair]
+        del self._sorted_pairs[bisect.bisect_left(self._sorted_pairs, pair)]
+        self._rates_by_tid.pop(tid, None)
+        return pair
 
     def update(
         self, added: Sequence[Transfer], removed: Sequence[Hashable]
@@ -284,63 +319,140 @@ class EmulatorRateProvider:
         """Apply a flow delta; return the rates of the re-priced transfers.
 
         The emulator prices whole sharing situations (its memo key is the
-        endpoint multiset), so — unlike the model-side provider, whose
-        ``rates`` is a shim over ``update`` — the delta call is built on the
-        full-set solve: the situation is re-solved (memo hit, warm-started
-        component re-solve, or full water-filling) and the new allocation is
-        value-diffed against the previous one.  Every added transfer plus
-        every incumbent whose rate changed is returned; transfers absent
-        from the mapping kept their rate exactly, which is what the event
-        calendar relies on to leave their completion entries untouched.
-        """
-        for tid in removed:
-            if self._active.pop(tid, None) is None:
-                raise SimulationError(f"unknown transfer {tid!r} removed from rate set")
-        for transfer in added:
-            if transfer.transfer_id in self._active:
-                raise SimulationError(
-                    f"transfer {transfer.transfer_id!r} added to the rate set twice"
-                )
-            self._active[transfer.transfer_id] = transfer
-        previous = dict(self._last_rates)
-        current = self.rates(list(self._active.values()))
-        return {
-            tid: rate for tid, rate in current.items()
-            if tid not in previous or previous[tid] != rate
-        }
+        endpoint multiset, maintained incrementally), and same-endpoint
+        flows share one rate in the max-min solution — so the changed set is
+        found by value-diffing the new allocation against the previous one
+        *per endpoint pair*: every added transfer plus every incumbent whose
+        pair's rate changed is returned.  A memoized situation therefore
+        costs O(delta + distinct pairs), with no per-transfer rebuild.
+        Transfers absent from the mapping kept their rate exactly, which is
+        what the event calendar relies on to leave their completion entries
+        untouched.
 
-    def rates(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
-        """Instantaneous rate of every active transfer, in bytes per second."""
-        self._active = {t.transfer_id: t for t in active}
-        if not active:
-            self._remember((), {})
-            return {}
-        for transfer in active:
+        The whole delta is validated (membership and hosts) before any state
+        changes, so a rejected call leaves the tracked set untouched and the
+        caller can retry.
+        """
+        departing = set()
+        for tid in removed:
+            if tid not in self._active or tid in departing:
+                raise SimulationError(f"unknown transfer {tid!r} removed from rate set")
+            departing.add(tid)
+        remaining = set(self._active) - departing
+        for transfer in added:
+            tid = transfer.transfer_id
+            if tid in remaining:
+                raise SimulationError(f"transfer {tid!r} added to the rate set twice")
+            remaining.add(tid)
             self.topology.check_host(transfer.src)
             self.topology.check_host(transfer.dst)
+        changed_pairs: List[Tuple[int, int]] = []
+        for tid in removed:
+            changed_pairs.append(self._untrack(tid))
+        added_tids: List[Hashable] = []
+        for transfer in added:
+            changed_pairs.append(self._track(transfer))
+            added_tids.append(transfer.transfer_id)
+        if not self._active:
+            self._last_by_pair = {}
+            self._primed = True
+            return {}
+        return self._allocate(changed_pairs, added_tids)
 
-        key = self._situation_key(active)
-        cached = self._rate_cache.get(key)
-        if cached is not None:
-            self.cache_hits += 1
-            rates = {t.transfer_id: cached[(t.src, t.dst)] for t in active}
-            self._remember(active, rates)
-            return rates
-
-        self.cache_misses += 1
-        rates = self._solve_incremental(active)
-        by_pair: Optional[Dict[Tuple[int, int], float]] = {}
-        for transfer in active:
-            pair = (transfer.src, transfer.dst)
-            rate = rates[transfer.transfer_id]
-            if pair in by_pair and by_pair[pair] != rate:
-                by_pair = None  # solver broke same-endpoint symmetry
-                break
-            by_pair[pair] = rate
+    def _allocate(
+        self,
+        changed_pairs: Sequence[Tuple[int, int]],
+        added_tids: Sequence[Hashable],
+    ) -> Dict[Hashable, float]:
+        """Price the tracked situation and report the changed rates."""
+        key = self._situation_key()
+        by_pair = self._rate_cache.get(key)
         if by_pair is not None:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+            active = list(self._active.values())
+            rates = self._solve_incremental(active, changed_pairs)
+            by_pair = {}
+            for transfer in active:
+                pair = self._pair_of_tid[transfer.transfer_id]
+                rate = rates[transfer.transfer_id]
+                if pair in by_pair and by_pair[pair] != rate:
+                    by_pair = None  # solver broke same-endpoint symmetry
+                    break
+                by_pair[pair] = rate
+            if by_pair is None:
+                # rare fallback: diff (and store) rates per transfer
+                changed = {}
+                for tid, rate in rates.items():
+                    if self._rates_by_tid.get(tid) != rate:
+                        changed[tid] = rate
+                        self._rates_by_tid[tid] = rate
+                for tid in added_tids:
+                    changed.setdefault(tid, rates[tid])
+                self._last_by_pair = None
+                self._primed = True
+                return changed
             self._rate_cache.put(key, by_pair)
-        self._remember(active, rates)
-        return rates
+
+        previous = self._last_by_pair
+        if previous is None:
+            changed_pair_set = set(by_pair)
+        else:
+            changed_pair_set = {
+                pair for pair, rate in by_pair.items()
+                if previous.get(pair) != rate
+            }
+        changed: Dict[Hashable, float] = {}
+        for pair in changed_pair_set:
+            rate = by_pair[pair]
+            for tid in self._tids_of_pair.get(pair, ()):
+                changed[tid] = rate
+                self._rates_by_tid[tid] = rate
+        for tid in added_tids:
+            if tid not in changed:
+                rate = by_pair[self._pair_of_tid[tid]]
+                changed[tid] = rate
+                self._rates_by_tid[tid] = rate
+        self._last_by_pair = by_pair
+        self._primed = True
+        return changed
+
+    def rates(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
+        """Instantaneous rate of every active transfer, in bytes per second.
+
+        Compatibility shim over :meth:`update`: the requested set is diffed
+        against the tracked one, the delta applied, and the stored rate of
+        every requested transfer returned.
+        """
+        wanted: Dict[Hashable, Transfer] = {}
+        for transfer in active:
+            if transfer.transfer_id in wanted:
+                raise SimulationError("duplicate transfer ids in the active set")
+            wanted[transfer.transfer_id] = transfer
+        removed: List[Hashable] = [tid for tid in self._active if tid not in wanted]
+        added: List[Transfer] = []
+        for tid, transfer in wanted.items():
+            known = self._active.get(tid)
+            if known is None:
+                added.append(transfer)
+            elif (known.src, known.dst) != (transfer.src, transfer.dst):
+                # transfer id re-used with new endpoints: departure + arrival
+                removed.append(tid)
+                added.append(transfer)
+        if added or removed:
+            self.update(added, removed)
+        elif active and any(
+            t.transfer_id not in self._rates_by_tid for t in active
+        ):
+            # stored rates were dropped (invalidate_cache): full re-query
+            self._allocate(list(self._tids_of_pair), [])
+        elif active:
+            # no delta: the stored rates are current; a memoized situation
+            # still counts as a hit (parity with the historical full query)
+            if self._rate_cache.get(self._situation_key()) is not None:
+                self.cache_hits += 1
+        return {t.transfer_id: self._rates_by_tid[t.transfer_id] for t in active}
 
     # ------------------------------------------------------------- penalties
     def instantaneous_penalties(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:

@@ -61,6 +61,49 @@ epoch)`` entries.
   the time still needed at the current rate is below the clock resolution.
   A non-negligible pop (floating-point drift) re-times instead of
   completing, so the calendar can never lose a transfer.
+* **Heap compaction**: lazy deletion leaves one superseded entry behind per
+  re-timing, so a long run with frequent rate changes would grow the heap
+  without bound.  Whenever the heap exceeds
+  :attr:`~TransferCalendar.COMPACT_MIN_HEAP` entries *and* more than half of
+  them are provably stale (a flight owns at most one live entry, so
+  ``len(heap) > 2 × len(flights)`` implies a stale majority), the heap is
+  rebuilt in place keeping only current-epoch entries of live flights.
+  Compacted-away entries count into ``CalendarStats.stale_entries`` exactly
+  as if they had surfaced and been discarded; ``CalendarStats.compactions``
+  counts the rebuilds.  The heap is therefore bounded by
+  ``max(COMPACT_MIN_HEAP, 2 × active + 1)`` at all times.
+* **Zero-rate flights**: a flight whose applied rate is ``<= 0`` gets no
+  calendar entry (nothing to predict).  The calendar tracks these in a
+  *stalled* set; in delta mode every subsequent :meth:`flush` re-rates them
+  through a departure+arrival cycle of the delta API (which dirties their
+  conflict component, forcing the provider to re-report them), so a
+  transfer zero-rated by an under-reporting provider resurfaces as soon as
+  anything else changes instead of starving silently.  When nothing else
+  will ever change, the simulation loops fail fast with a diagnostic naming
+  the starved transfer ids (:meth:`TransferCalendar.stalled_ids`).
+* **Error atomicity**: the pending arrival/departure queues are cleared only
+  after the provider query returns.  A provider that raises mid-flush
+  leaves the calendar consistent — the same flush can be retried (or the
+  error handled) without losing the delta.
+
+Interference injection
+----------------------
+The calendar is deliberately agnostic about *who* owns a transfer:
+foreground MPI traffic and injected background flows
+(:mod:`repro.simulator.interference`) ride the same heap and the same
+delta path, so injected flows contend in the rate provider exactly like
+foreground ones.  Two hooks exist for injectors:
+
+* :meth:`TransferCalendar.set_rate_scale` installs a post-provider rate
+  multiplier (link degradation windows); because scaled rates feed the
+  value-compare in ``_apply_rate``, the scale must only change at
+  :meth:`TransferCalendar.reprice` boundaries;
+* :meth:`TransferCalendar.reprice` forces a full re-rate of every in-flight
+  transfer through ``provider.reset()`` + a full re-add — the re-rate hook
+  for capacity changes that the delta contract cannot express.
+
+With no injectors installed (no scale hook, no reprice calls) every code
+path is bit-for-bit identical to the pre-injection calendar.
 
 Simulation cost therefore scales with *state changes* (how many transfers
 each arrival/departure re-prices) rather than with the size of the active
@@ -74,7 +117,17 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Optional, Protocol, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+)
 
 from ..exceptions import SimulationError
 
@@ -85,6 +138,7 @@ __all__ = [
     "DeltaRateProvider",
     "CalendarStats",
     "TransferCalendar",
+    "RateScaleRegistry",
     "FluidTransferSimulator",
 ]
 
@@ -162,10 +216,16 @@ class CalendarStats:
     activations: int = 0
     #: transfers that completed
     completions: int = 0
-    #: superseded heap entries discarded on surfacing
+    #: superseded heap entries discarded (on surfacing or by compaction)
     stale_entries: int = 0
     #: running sum of the active-set size at each flush — baseline for rate_updates
     active_at_flush: int = 0
+    #: in-place heap rebuilds triggered by a stale-entry majority
+    compactions: int = 0
+    #: transfers removed before completion (injector deactivations)
+    cancelled: int = 0
+    #: forced re-rates of zero-rated flights through the delta API
+    stall_retries: int = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {
@@ -176,6 +236,9 @@ class CalendarStats:
             "completions": self.completions,
             "stale_entries": self.stale_entries,
             "active_at_flush": self.active_at_flush,
+            "compactions": self.compactions,
+            "cancelled": self.cancelled,
+            "stall_retries": self.stall_retries,
         }
 
 
@@ -222,6 +285,8 @@ class TransferCalendar:
 
     EPSILON = 1e-12
     EPSILON_BYTES = 1e-6
+    #: heaps smaller than this are never compacted (compaction is O(heap))
+    COMPACT_MIN_HEAP = 64
 
     def __init__(
         self,
@@ -245,6 +310,10 @@ class TransferCalendar:
         self._seq = itertools.count()
         self._pending_added: Dict[Hashable, Transfer] = {}
         self._pending_removed: List[Hashable] = []
+        #: flights whose applied rate is <= 0 (insertion-ordered for diagnostics)
+        self._stalled: Dict[Hashable, None] = {}
+        #: post-provider rate multiplier (interference hook); ``None`` = off
+        self._rate_scale: Optional[Callable[[Transfer], float]] = None
 
     # --------------------------------------------------------------- queries
     @property
@@ -254,6 +323,13 @@ class TransferCalendar:
     def remaining(self, tid: Hashable) -> float:
         """Remaining bytes as of the flight's last integration point."""
         return self._flights[tid].remaining
+
+    def is_active(self, tid: Hashable) -> bool:
+        return tid in self._flights
+
+    def stalled_ids(self) -> Tuple[Hashable, ...]:
+        """Ids of flights currently zero-rated (no calendar entry), in order."""
+        return tuple(self._stalled)
 
     def next_time(self) -> Optional[float]:
         """Earliest valid predicted completion, or ``None``."""
@@ -277,6 +353,36 @@ class TransferCalendar:
         self._pending_added[tid] = transfer
         self.stats.activations += 1
 
+    def cancel(self, tid: Hashable, now: float) -> Transfer:
+        """Remove an in-flight transfer without completing it.
+
+        The departure joins the next flush (unless the transfer was never
+        flushed to the provider, in which case it simply vanishes).  Used by
+        interference injectors to deactivate background flows; heap entries
+        of the cancelled flight die lazily like any other stale entry.
+        """
+        flight = self._flights.pop(tid, None)
+        if flight is None:
+            raise SimulationError(f"cannot cancel unknown transfer {tid!r}")
+        self._integrate(flight, now)
+        if tid in self._pending_added:
+            del self._pending_added[tid]  # the provider never saw it
+        else:
+            self._pending_removed.append(tid)
+        self._stalled.pop(tid, None)
+        self.stats.cancelled += 1
+        return flight.transfer
+
+    def set_rate_scale(self, scale: Optional[Callable[[Transfer], float]]) -> None:
+        """Install (or clear) a post-provider rate multiplier.
+
+        The scaled rate feeds the value-compare of the re-timing rule, so the
+        installed function must be pure and may only change together with a
+        :meth:`reprice` call — otherwise already-applied rates would keep the
+        old scale.  ``None`` restores the unscaled (bit-exact) path.
+        """
+        self._rate_scale = scale
+
     def _integrate(self, flight: _Flight, now: float) -> None:
         if flight.rated and flight.rate > 0.0:
             dt = now - flight.last_update
@@ -290,28 +396,62 @@ class TransferCalendar:
             completion = now + flight.remaining / flight.rate
             heapq.heappush(self._heap, (completion, next(self._seq), tid, flight.epoch))
             self.stats.retimed += 1
+            self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        # every flight owns at most one live entry, so heap > 2*flights means
+        # the stale entries hold the majority: rebuild in place (amortized
+        # O(1) per push — the heap must double through pushes to re-trigger)
+        if (len(self._heap) < self.COMPACT_MIN_HEAP
+                or len(self._heap) <= 2 * len(self._flights)):
+            return
+        live = []
+        for entry in self._heap:
+            flight = self._flights.get(entry[2])
+            if flight is not None and flight.epoch == entry[3]:
+                live.append(entry)
+        self.stats.stale_entries += len(self._heap) - len(live)
+        heapq.heapify(live)
+        self._heap = live
+        self.stats.compactions += 1
 
     def flush(self, now: float) -> None:
-        """Push the pending flow delta to the provider and apply changed rates."""
+        """Push the pending flow delta to the provider and apply changed rates.
+
+        The pending queues are cleared only once the provider query returned:
+        a provider that raises (e.g. a :class:`SimulationError` on a
+        duplicate id) leaves the calendar consistent and re-flushable.  In
+        delta mode, zero-rated (stalled) flights are re-rated through a
+        departure+arrival cycle on every flush — see the module docstring.
+        """
         if self.delta:
             if not self._pending_added and not self._pending_removed:
+                if self._stalled:
+                    self._retry_stalled(now)
                 return
             added = list(self._pending_added.values())
             removed = list(self._pending_removed)
-            self._pending_added.clear()
-            self._pending_removed.clear()
             changed: Mapping[Hashable, float] = self.provider.update(added, removed)
-        else:
             self._pending_added.clear()
             self._pending_removed.clear()
+        else:
             if not self._flights:
+                self._pending_added.clear()
+                self._pending_removed.clear()
                 return
             changed = self.provider.rates(
                 [flight.transfer for flight in self._flights.values()]
             )
+            self._pending_added.clear()
+            self._pending_removed.clear()
         self.stats.flushes += 1
         self.stats.rate_updates += len(changed)
         self.stats.active_at_flush += len(self._flights)
+        self._apply_changed(changed, now)
+        if self.delta and self._stalled:
+            self._retry_stalled(now)
+
+    def _apply_changed(self, changed: Mapping[Hashable, float], now: float) -> None:
         for tid, rate in changed.items():
             flight = self._flights.get(tid)
             if flight is None:
@@ -333,8 +473,61 @@ class TransferCalendar:
             for tid in missing:
                 self._apply_rate(tid, self._flights[tid], 0.0, now)
 
+    def _retry_stalled(self, now: float) -> None:
+        """Force zero-rated flights back through the delta API.
+
+        A departure immediately followed by an arrival of the same transfer
+        dirties its conflict component, so a conforming provider must
+        re-report it — the escape hatch for flights an under-reporting
+        provider left at rate zero (they have no calendar entry and would
+        otherwise only resurface when an unrelated delta touched their
+        component).
+        """
+        retry = [tid for tid in self._stalled if tid in self._flights]
+        if not retry:
+            return
+        transfers = [self._flights[tid].transfer for tid in retry]
+        changed = self.provider.update(transfers, list(retry))
+        self.stats.stall_retries += len(retry)
+        self.stats.rate_updates += len(changed)
+        self._apply_changed(changed, now)
+
+    def reprice(self, now: float) -> None:
+        """Force a full re-rate of every in-flight transfer.
+
+        The delta contract cannot express "every rate may have changed"
+        (e.g. after a link-degradation window toggles the rate scale), so
+        this resets the provider's tracked set and re-adds the whole active
+        set in one delta; in full-query mode a plain re-query suffices.  Any
+        pending delta is flushed first.
+        """
+        self.flush(now)
+        if not self._flights:
+            return
+        transfers = [flight.transfer for flight in self._flights.values()]
+        if self.delta:
+            reset = getattr(self.provider, "reset", None)
+            if not callable(reset):
+                raise SimulationError(
+                    "reprice() on a delta provider requires a reset() method"
+                )
+            reset()
+            changed: Mapping[Hashable, float] = self.provider.update(transfers, [])
+        else:
+            changed = self.provider.rates(transfers)
+        self.stats.flushes += 1
+        self.stats.rate_updates += len(changed)
+        self.stats.active_at_flush += len(self._flights)
+        self._apply_changed(changed, now)
+
     def _apply_rate(self, tid: Hashable, flight: _Flight, rate: float,
                     now: float) -> None:
+        if self._rate_scale is not None:
+            rate = rate * self._rate_scale(flight.transfer)
+        if rate <= 0.0:
+            self._stalled[tid] = None
+        else:
+            self._stalled.pop(tid, None)
         if flight.rated and rate == flight.rate:
             return  # value unchanged: the calendar entry stays valid
         self._integrate(flight, now)
@@ -371,10 +564,102 @@ class TransferCalendar:
                 self._retime(tid, flight, now)  # fp drift: try again later
                 continue
             del self._flights[tid]
+            self._stalled.pop(tid, None)
             self._pending_removed.append(tid)
             done.append(flight.transfer)
             self.stats.completions += 1
         return done
+
+
+class RateScaleRegistry:
+    """Handle-keyed rate-scale bookkeeping shared by the injection surfaces.
+
+    Both injection states (the engine's and the fluid simulator's) delegate
+    ``add_rate_scale``/``remove_rate_scale`` here: scales are stored under
+    opaque handles and their composition (see
+    :func:`repro.simulator.interference.compose_rate_scales`) is installed
+    on the calendar after every change — ``None`` (the bit-exact unscaled
+    path) once the last scale is removed.
+    """
+
+    def __init__(self, calendar: TransferCalendar) -> None:
+        self._calendar = calendar
+        self._scales: Dict[int, Callable[[Transfer], float]] = {}
+        self._seq = itertools.count()
+
+    def add(self, scale: Callable[[Transfer], float]) -> int:
+        handle = next(self._seq)
+        self._scales[handle] = scale
+        self._install()
+        return handle
+
+    def remove(self, handle: Optional[int]) -> None:
+        self._scales.pop(handle, None)
+        self._install()
+
+    def _install(self) -> None:
+        # local import: interference lives above this module (it imports
+        # Transfer from here), so the composition helper resolves lazily at
+        # the first injector apply
+        from ..simulator.interference import compose_rate_scales
+
+        self._calendar.set_rate_scale(
+            compose_rate_scales(tuple(self._scales.values()))
+        )
+
+
+class _FluidInjectionState:
+    """Injection surface of one :meth:`FluidTransferSimulator.run`.
+
+    Implements the informal ``InjectionState`` protocol of
+    :mod:`repro.simulator.interference` for a pure transfer simulation:
+    background flows ride the same calendar (and thus the same provider
+    delta path) as the foreground transfers; compute scaling is a no-op
+    because nothing computes here.
+    """
+
+    def __init__(self, calendar: TransferCalendar, hosts: Tuple[int, ...]) -> None:
+        self.now = 0.0
+        self.hosts = hosts
+        self.background: set = set()
+        #: background flows started / injector firings (event-budget input)
+        self.injected = 0
+        self.fired = 0
+        self._calendar = calendar
+        self._flow_seq = itertools.count()
+        self._rate_scales = RateScaleRegistry(calendar)
+
+    # ------------------------------------------------------------- flows
+    def start_flow(self, src: int, dst: int, size: float,
+                   owner: str = "background") -> Hashable:
+        tid = f"{owner}#{next(self._flow_seq)}"
+        transfer = Transfer(transfer_id=tid, src=src, dst=dst, size=float(size),
+                            start_time=self.now)
+        self._calendar.activate(transfer, self.now)
+        self.background.add(tid)
+        self.injected += 1
+        return tid
+
+    def end_flow(self, tid: Hashable) -> None:
+        if tid in self.background and self._calendar.is_active(tid):
+            self._calendar.cancel(tid, self.now)
+        self.background.discard(tid)
+
+    # ------------------------------------------------------------- scaling
+    def add_rate_scale(self, scale: Callable[[Transfer], float]) -> int:
+        return self._rate_scales.add(scale)
+
+    def remove_rate_scale(self, handle: Optional[int]) -> None:
+        self._rate_scales.remove(handle)
+
+    def add_compute_scale(self, scale) -> Optional[int]:
+        return None  # nothing computes in a pure transfer simulation
+
+    def remove_compute_scale(self, handle) -> None:
+        pass
+
+    def reprice(self) -> None:
+        self._calendar.reprice(self.now)
 
 
 class FluidTransferSimulator:
@@ -391,18 +676,27 @@ class FluidTransferSimulator:
         Forwarded to :class:`TransferCalendar` — ``None`` auto-detects the
         provider's delta ``update`` API, ``False`` forces full-set
         re-queries (the verification mode; bit-exact with the delta path).
+    injectors:
+        Interference injectors (:mod:`repro.simulator.interference`) whose
+        events interleave with the transfer calendar: background flows
+        contend with the foreground transfers in the provider but are
+        excluded from the returned completion records, and the run ends when
+        the last *foreground* transfer completes.  With an empty sequence
+        the loop is bit-exact with the injector-free simulator.
     """
 
     #: bytes below which a transfer is considered finished (numerical guard)
     EPSILON_BYTES = TransferCalendar.EPSILON_BYTES
 
     def __init__(self, rate_provider: RateProvider, latency: float = 0.0,
-                 delta: Optional[bool] = None) -> None:
+                 delta: Optional[bool] = None,
+                 injectors: Sequence = ()) -> None:
         if latency < 0:
             raise SimulationError(f"latency must be non-negative, got {latency}")
         self.rate_provider = rate_provider
         self.latency = latency
         self.delta = delta
+        self.injectors = tuple(injectors)
         #: calendar work counters of the most recent :meth:`run`
         self.last_calendar_stats: Optional[Dict[str, int]] = None
 
@@ -421,6 +715,17 @@ class FluidTransferSimulator:
         calendar = TransferCalendar(self.rate_provider, delta=self.delta,
                                     missing_rate="error")
 
+        state: Optional[_FluidInjectionState] = None
+        inject_heap: List[Tuple[float, int]] = []
+        if self.injectors:
+            hosts = tuple(sorted({h for t in transfers for h in (t.src, t.dst)}))
+            state = _FluidInjectionState(calendar, hosts)
+            for index, injector in enumerate(self.injectors):
+                injector.reset()
+                when = injector.next_event(0.0)
+                if when is not None:
+                    heapq.heappush(inject_heap, (max(0.0, when), index))
+
         # transfers waiting for their (latency-shifted) start time
         pending: List[Tuple[float, int, Transfer]] = []
         counter = itertools.count()
@@ -430,11 +735,15 @@ class FluidTransferSimulator:
         results: Dict[Hashable, TransferResult] = {}
         now = 0.0
         guard = 0
-        max_events = 10 * len(transfers) + 10
 
-        while pending or calendar.active_count:
+        def foreground_active() -> int:
+            background = len(state.background) if state is not None else 0
+            return calendar.active_count - background
+
+        while pending or foreground_active() > 0:
             guard += 1
-            if guard > max_events:
+            injected = state.injected + state.fired if state is not None else 0
+            if guard > 10 * (len(transfers) + injected) + 10:
                 raise SimulationError("fluid simulation exceeded its event budget")
 
             # activate transfers whose start time has been reached; zero-byte
@@ -448,27 +757,50 @@ class FluidTransferSimulator:
                 else:
                     calendar.activate(transfer, now)
 
+            # fire due injector events (may start background flows, toggle
+            # rate scales, force reprices)
+            while inject_heap and inject_heap[0][0] <= now + 1e-15:
+                _, index = heapq.heappop(inject_heap)
+                injector = self.injectors[index]
+                state.now = now
+                injector.apply(state)
+                state.fired += 1
+                when = injector.next_event(now)
+                if when is not None:
+                    heapq.heappush(inject_heap, (max(when, now), index))
+
             if not calendar.active_count:
-                if pending:
-                    now = pending[0][0]
-                    continue
-                break
+                targets = [t for t in (
+                    pending[0][0] if pending else None,
+                    inject_heap[0][0] if inject_heap else None,
+                ) if t is not None]
+                if not targets:
+                    break
+                now = max(now, min(targets))
+                continue
 
             calendar.flush(now)
 
             next_completion = calendar.next_time()
             next_start = pending[0][0] if pending else math.inf
-            if next_completion is None and math.isinf(next_start):
+            next_inject = inject_heap[0][0] if inject_heap else math.inf
+            if next_completion is None and math.isinf(next_start) \
+                    and math.isinf(next_inject):
+                stalled = calendar.stalled_ids()
+                detail = f"; zero-rated transfers: {list(stalled)!r}" if stalled else ""
                 raise SimulationError(
                     "fluid simulation stalled: all active transfers have zero rate "
-                    "and no new transfer will start"
+                    f"and no new transfer will start{detail}"
                 )
 
             horizon = min(math.inf if next_completion is None else next_completion,
-                          next_start)
+                          next_start, next_inject)
             now = max(now, horizon)
 
             for transfer in calendar.pop_due(now):
+                if state is not None and transfer.transfer_id in state.background:
+                    state.background.discard(transfer.transfer_id)
+                    continue
                 results[transfer.transfer_id] = TransferResult(
                     transfer.transfer_id, transfer.start_time, now
                 )

@@ -9,6 +9,13 @@ emulator (measurement).
 from .application import Application, TaskTrace
 from .engine import EngineConfig, ExecutionEngine
 from .events import ANY_SOURCE, BarrierEvent, ComputeEvent, Event, RecvEvent, SendEvent
+from .interference import (
+    BackgroundTrafficInjector,
+    Injector,
+    LinkDegradationInjector,
+    NodeSlowdownInjector,
+    build_injectors,
+)
 from .providers import EmulatorRateProvider, ModelRateProvider
 from .report import EventRecord, SimulationReport
 from .scheduling import PAPER_POLICIES, make_placement
@@ -19,6 +26,11 @@ __all__ = [
     "TaskTrace",
     "EngineConfig",
     "ExecutionEngine",
+    "Injector",
+    "BackgroundTrafficInjector",
+    "LinkDegradationInjector",
+    "NodeSlowdownInjector",
+    "build_injectors",
     "ANY_SOURCE",
     "ComputeEvent",
     "SendEvent",

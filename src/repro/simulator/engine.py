@@ -36,6 +36,17 @@ Message matching — pending sends, posted receives, parked eager arrivals
 and unclaimed in-flight transfers — is indexed by ``(src, dst, tag)`` with
 ``MPI_ANY_SOURCE`` wildcard buckets, preserving the posted-order
 tie-breaking of the historical linear scans.
+
+Interference injection: :attr:`EngineConfig.injectors` carries
+:mod:`repro.simulator.interference` injectors whose events ride the same
+timeline heap as computes and readiness transitions.  Injected background
+flows join the calendar (and therefore the provider's delta path) like
+foreground transfers — they contend for bandwidth in the model and in the
+emulator — but are excluded from message matching, task completion and the
+report; compute-rate and link-capacity scaling windows are applied through
+the injection state (``_EngineInjectionState``).  With no injectors
+configured every code path is bit-exact with the pre-injection engine
+(property-tested in ``tests/property/test_interference_properties.py``).
 """
 
 from __future__ import annotations
@@ -49,7 +60,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Un
 
 from ..cluster.placement import Placement
 from ..exceptions import DeadlockError, SimulationError, TraceError
-from ..network.fluid import Transfer, TransferCalendar
+from ..network.fluid import RateScaleRegistry, Transfer, TransferCalendar
 from ..network.technologies import NetworkTechnology, get_technology
 from ..units import KiB
 from .application import Application
@@ -75,6 +86,9 @@ class EngineConfig:
     #: re-queries the full active set every step — same results, O(active)
     #: per-step work (kept for verification and benchmarking)
     delta_rates: bool = True
+    #: interference injectors (:mod:`repro.simulator.interference`) whose
+    #: events ride the timeline heap; empty = bit-exact clean-fabric run
+    injectors: Tuple = ()
 
     def __post_init__(self) -> None:
         if self.eager_threshold < 0:
@@ -83,6 +97,7 @@ class EngineConfig:
             raise SimulationError("compute_efficiency must be in (0, 1]")
         if self.default_flops_per_core <= 0:
             raise SimulationError("default_flops_per_core must be positive")
+        object.__setattr__(self, "injectors", tuple(self.injectors))
 
 
 @dataclass
@@ -93,11 +108,20 @@ class EngineLoopStats:
     iterations: int = 0
     #: horizon advances (simulation steps)
     steps: int = 0
+    #: injector events fired (0 on a clean-fabric run)
+    injected_events: int = 0
+    #: background flows started by injectors
+    background_flows: int = 0
     #: calendar counters (rate_updates, retimed, stale_entries, ...) of the run
     calendar: Dict[str, int] = field(default_factory=dict)
 
     def snapshot(self) -> Dict[str, int]:
-        merged = {"iterations": self.iterations, "steps": self.steps}
+        merged = {
+            "iterations": self.iterations,
+            "steps": self.steps,
+            "injected_events": self.injected_events,
+            "background_flows": self.background_flows,
+        }
         merged.update(self.calendar)
         return merged
 
@@ -250,6 +274,72 @@ class _MatchQueue:
 #: irrelevant — due entries are drained together and re-ordered explicitly)
 _COMPUTE = 0
 _READY = 1
+_INJECT = 2
+
+
+class _EngineInjectionState:
+    """Injection surface of one :meth:`ExecutionEngine.run`.
+
+    Implements the informal ``InjectionState`` protocol of
+    :mod:`repro.simulator.interference` over the engine's calendar and task
+    set: background flows enter the shared :class:`TransferCalendar` (and
+    thus the provider's delta path) but never touch the match queues or the
+    task programs.
+    """
+
+    def __init__(self, engine: "ExecutionEngine") -> None:
+        self._engine = engine
+        self._flow_seq = itertools.count()
+        self._scale_seq = itertools.count()
+        self._rate_scales = RateScaleRegistry(engine._calendar)
+        cluster = engine.placement.cluster
+        if cluster is not None:
+            self.hosts: Tuple[int, ...] = tuple(range(cluster.num_nodes))
+        else:
+            self.hosts = tuple(sorted(
+                {engine.placement.node(rank) for rank in range(engine.num_tasks)}
+            ))
+
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    # ------------------------------------------------------------- flows
+    def start_flow(self, src: int, dst: int, size: float,
+                   owner: str = "background") -> int:
+        engine = self._engine
+        tid = f"{owner}#{next(self._flow_seq)}"
+        transfer = Transfer(transfer_id=tid, src=src, dst=dst, size=float(size),
+                            start_time=engine.now)
+        engine._calendar.activate(transfer, engine.now)
+        engine._background[tid] = transfer
+        engine.stats.background_flows += 1
+        return tid
+
+    def end_flow(self, tid) -> None:
+        engine = self._engine
+        if tid in engine._background and engine._calendar.is_active(tid):
+            engine._calendar.cancel(tid, engine.now)
+        engine._background.pop(tid, None)
+
+    # ------------------------------------------------------------- scaling
+    def add_rate_scale(self, scale) -> int:
+        return self._rate_scales.add(scale)
+
+    def remove_rate_scale(self, handle) -> None:
+        self._rate_scales.remove(handle)
+
+    def add_compute_scale(self, scale) -> int:
+        handle = next(self._scale_seq)
+        self._engine._compute_scales[handle] = scale
+        return handle
+
+    def remove_compute_scale(self, handle) -> None:
+        self._engine._compute_scales.pop(handle, None)
+
+    def reprice(self) -> None:
+        engine = self._engine
+        engine._calendar.reprice(engine.now)
 
 
 class ExecutionEngine:
@@ -296,6 +386,11 @@ class ExecutionEngine:
         self.now = 0.0
         self._transfer_counter = itertools.count()
         self.in_flight: Dict[int, _InFlight] = {}
+        #: injected background flows currently alive (excluded from matching)
+        self._background: Dict[object, Transfer] = {}
+        #: active compute-rate scales (handle -> node -> factor), injector-owned
+        self._compute_scales: Dict[int, object] = {}
+        self._injection_state: Optional[_EngineInjectionState] = None
         self._sends = _MatchQueue()      # rendezvous sends waiting for a recv
         self._recvs = _MatchQueue()      # posted recvs waiting for a send
         self._arrived = _MatchQueue()    # eager messages waiting for a recv
@@ -321,6 +416,18 @@ class ExecutionEngine:
             return float(event.duration)
         assert event.flops is not None
         return float(event.flops) / (self._flops_per_core() * self.config.compute_efficiency)
+
+    def _compute_scale(self, rank: int) -> float:
+        """Product of the active injector compute-rate scales at this node."""
+        node = self._node_of(rank)
+        factor = 1.0
+        for scale in self._compute_scales.values():
+            factor *= scale(node)
+        if factor <= 0.0:
+            raise SimulationError(
+                f"compute-rate scale at node {node} is not positive ({factor})"
+            )
+        return factor
 
     def _base_transfer_time(self, size: int, intra_node: bool) -> float:
         if intra_node:
@@ -354,6 +461,10 @@ class ExecutionEngine:
         task.current_start = self.now
         if isinstance(event, ComputeEvent):
             duration = self._compute_duration(event)
+            if self._compute_scales:
+                # slowdown windows scale the compute *rate* of events that
+                # start while the window is open (see NodeSlowdownInjector)
+                duration = duration / self._compute_scale(task.rank)
             task.status = _Status.COMPUTING
             task.compute_until = self.now + duration
             heapq.heappush(
@@ -524,6 +635,23 @@ class ExecutionEngine:
 
     def _next_horizon(self) -> float:
         """Earliest calendar entry (timeline or predicted completion)."""
+        if self.config.injectors and not self.in_flight:
+            # only injector runs need this extra check: _INJECT/background
+            # entries keep the timeline non-empty, yet with no transfer in
+            # flight and nobody computing they can never unblock a task.
+            # (Injector-free runs reach the empty-`times` branch below
+            # instead, so their hot loop pays nothing here.)
+            alive = [task for task in self.tasks
+                     if task.status is not _Status.DONE]
+            if alive and not any(
+                task.status is _Status.COMPUTING for task in alive
+            ):
+                blocked = [(task.rank, task.status.value) for task in alive]
+                raise DeadlockError(
+                    f"no task can make progress at t={self.now:.6f}s; "
+                    f"blocked tasks: {blocked}",
+                    blocked_tasks=[rank for rank, _ in blocked],
+                )
         times: List[float] = []
         if self._timeline:
             times.append(self._timeline[0][0])
@@ -531,10 +659,17 @@ class ExecutionEngine:
         if completion is not None:
             times.append(completion)
         if not times:
-            blocked = [
-                (task.rank, task.status.value) for task in self.tasks
-                if task.status is not _Status.DONE
-            ]
+            stalled = self._calendar.stalled_ids()
+            if stalled:
+                # distinguishes a zero-rate starvation (a provider that never
+                # re-reported these transfers) from a true MPI deadlock
+                raise SimulationError(
+                    f"simulation stalled at t={self.now:.6f}s: transfers "
+                    f"{list(stalled)!r} have zero rate and no pending event "
+                    f"can re-rate them"
+                )
+            blocked = [(task.rank, task.status.value) for task in self.tasks
+                       if task.status is not _Status.DONE]
             raise DeadlockError(
                 f"no task can make progress at t={self.now:.6f}s; "
                 f"blocked tasks: {blocked}",
@@ -546,17 +681,23 @@ class ExecutionEngine:
         """Fire every calendar entry due at the current time.
 
         Ordering mirrors the historical loop: compute completions first (in
-        rank order), then transfer completions (in transfer order); newly
-        ready transfers join the rate set for the *next* step's flush.
+        rank order), then foreground transfer completions (in transfer
+        order), then injector events; newly ready transfers join the rate
+        set for the *next* step's flush.  Background-flow completions only
+        update the injection bookkeeping — their departure reaches the
+        provider through the calendar's pending delta like any other.
         """
         compute_ranks: List[int] = []
         ready_tids: List[int] = []
+        inject_indices: List[int] = []
         while self._timeline and self._timeline[0][0] <= self.now + self.EPSILON:
             _, _, kind, payload = heapq.heappop(self._timeline)
             if kind == _COMPUTE:
                 compute_ranks.append(payload)
-            else:
+            elif kind == _READY:
                 ready_tids.append(payload)
+            else:
+                inject_indices.append(payload)
         finished = self._calendar.pop_due(self.now)
 
         for rank in sorted(compute_ranks):
@@ -569,8 +710,25 @@ class ExecutionEngine:
             task.status = _Status.READY
             task.resume_value = {"kind": "compute"}
 
-        for transfer in sorted(finished, key=lambda t: t.transfer_id):
+        foreground: List[Transfer] = []
+        for transfer in finished:
+            if transfer.transfer_id in self._background:
+                del self._background[transfer.transfer_id]
+            else:
+                foreground.append(transfer)
+        for transfer in sorted(foreground, key=lambda t: t.transfer_id):
             self._complete_transfer(transfer.transfer_id)
+
+        for index in inject_indices:
+            injector = self.config.injectors[index]
+            injector.apply(self._injection_state)
+            self.stats.injected_events += 1
+            when = injector.next_event(self.now)
+            if when is not None:
+                heapq.heappush(
+                    self._timeline,
+                    (max(when, self.now), next(self._timeline_seq), _INJECT, index),
+                )
 
         for tid in ready_tids:
             self._calendar.activate(self.in_flight[tid].transfer, self.now)
@@ -578,6 +736,11 @@ class ExecutionEngine:
     def _budget_diagnostics(self, max_iterations: int) -> str:
         counts = Counter(task.status.value for task in self.tasks)
         by_status = ", ".join(f"{status}={count}" for status, count in sorted(counts.items()))
+        stalled = self._calendar.stalled_ids() if self._calendar else ()
+        stall_note = f"; zero-rated transfers: {list(stalled)!r}" if stalled else ""
+        background_note = (
+            f"; background flows: {len(self._background)}" if self._background else ""
+        )
         return (
             f"execution engine exceeded its iteration budget "
             f"({max_iterations} iterations) at t={self.now:.6f}s; "
@@ -586,6 +749,7 @@ class ExecutionEngine:
             f"({self._calendar.active_count if self._calendar else 0} progressing); "
             f"waiting sends/recvs/arrived: "
             f"{len(self._sends)}/{len(self._recvs)}/{len(self._arrived)}"
+            f"{stall_note}{background_note}"
         )
 
     def run(self) -> SimulationReport:
@@ -598,14 +762,46 @@ class ExecutionEngine:
             delta=None if self.config.delta_rates else False,
             missing_rate="zero",
         )
+        self._background.clear()
+        self._compute_scales.clear()
+        if self.config.injectors:
+            self._injection_state = _EngineInjectionState(self)
+            for index, injector in enumerate(self.config.injectors):
+                injector.reset()
+                when = injector.next_event(0.0)
+                if when is not None:
+                    heapq.heappush(
+                        self._timeline,
+                        (max(0.0, when), next(self._timeline_seq), _INJECT, index),
+                    )
+            # events scheduled at t=0 (e.g. windows opening at the origin)
+            # take effect before the first ready-task sweep, so computes and
+            # sends starting at t=0 already see the installed scales
+            while self._timeline and self._timeline[0][0] <= self.EPSILON:
+                _, _, _, index = heapq.heappop(self._timeline)
+                injector = self.config.injectors[index]
+                injector.apply(self._injection_state)
+                self.stats.injected_events += 1
+                when = injector.next_event(0.0)
+                if when is not None:
+                    # clamp follow-ups just past the origin so this pre-loop
+                    # terminates; they fire on the first regular step
+                    heapq.heappush(
+                        self._timeline,
+                        (max(when, 2 * self.EPSILON),
+                         next(self._timeline_seq), _INJECT, index),
+                    )
         max_iterations = self.config.iteration_factor * (self._num_events_hint + self.num_tasks) + 100
         iterations = 0
 
         while True:
             iterations += 1
             self.stats.iterations = iterations
-            if iterations > max_iterations:
-                raise SimulationError(self._budget_diagnostics(max_iterations))
+            # injector events consume iterations too: grow the budget with
+            # the injected work so loaded runs keep the same safety margin
+            allowed = max_iterations + 20 * self.stats.injected_events
+            if iterations > allowed:
+                raise SimulationError(self._budget_diagnostics(allowed))
 
             self._process_ready_tasks()
 

@@ -153,19 +153,31 @@ class ModelRateProvider:
         membership of the conflict components the delta dirtied (plus
         intra-node arrivals); in full-recompute mode every active transfer
         is re-priced and returned.
+
+        The whole delta is validated before any state changes, so a rejected
+        call leaves the tracked set untouched and the caller (e.g. a
+        :class:`~repro.network.fluid.TransferCalendar` holding its pending
+        queues) can retry.
         """
+        departing = set()
         for tid in removed:
-            transfer = self._active.pop(tid, None)
-            if transfer is None:
+            if tid not in self._active or tid in departing:
                 raise SimulationError(f"unknown transfer {tid!r} removed from rate set")
+            departing.add(tid)
+        remaining = set(self._active) - departing
+        for transfer in added:
+            tid = transfer.transfer_id
+            if tid in remaining:
+                raise SimulationError(f"transfer {tid!r} added to the rate set twice")
+            remaining.add(tid)
+        for tid in removed:
+            transfer = self._active.pop(tid)
             del self._tid_of[str(tid)]
             self._rates.pop(tid, None)
             if self._engine is not None:
                 self._engine.remove(str(tid))
         for transfer in added:
             tid = transfer.transfer_id
-            if tid in self._active:
-                raise SimulationError(f"transfer {tid!r} added to the rate set twice")
             self._active[tid] = transfer
             self._tid_of[str(tid)] = tid
             if self._engine is not None:
