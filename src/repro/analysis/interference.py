@@ -24,8 +24,10 @@ from .tables import render_table
 __all__ = ["interference_slowdowns", "interference_slowdown_table"]
 
 #: the sweep coordinates that identify a scenario's clean twin
-_GROUP_AXES = ("kind", "workload", "network", "model", "num_hosts",
-               "placement", "seed")
+#: (workload_params keeps same-name workloads with different parameters —
+#: e.g. a 1 MB and a 4 MB broadcast — from colliding on one baseline)
+_GROUP_AXES = ("kind", "workload", "workload_params", "network", "model",
+               "num_hosts", "placement", "seed")
 
 
 def _group_key(axes: Dict[str, Any]) -> Tuple[Any, ...]:

@@ -222,7 +222,12 @@ class InterferenceSpec:
 
     # ------------------------------------------------------------- loaders
     def to_dict(self) -> Union[str, Dict[str, Any]]:
-        if not (self.background or self.link_degradation or self.node_slowdown):
+        # only the canonical clean entry collapses to the "none" shorthand;
+        # any other name must round-trip as a mapping (from_dict rejects
+        # unknown bare strings)
+        if self.name == "none" and not (
+            self.background or self.link_degradation or self.node_slowdown
+        ):
             return self.name
         data: Dict[str, Any] = {"name": self.name}
         for field_name in ("background", "link_degradation", "node_slowdown"):
@@ -281,11 +286,18 @@ class ScenarioSpec:
         return self.workload.is_application
 
     def axes(self) -> Dict[str, Any]:
-        """The identifying coordinates, for result rows and exports."""
+        """The identifying coordinates, for result rows and exports.
+
+        ``workload_params`` is a canonical string of the workload's
+        parameters: two same-name workload entries differing only in params
+        (e.g. a 1 MB and a 4 MB broadcast) stay distinguishable in result
+        rows — the interference analysis keys its clean-twin pairing on it.
+        """
         return {
             "scenario_id": self.scenario_id,
             "kind": self.workload.kind,
             "workload": self.workload.name,
+            "workload_params": repr(tuple(sorted(self.workload.params))),
             "network": self.network,
             "model": self.model,
             "num_hosts": self.num_hosts,

@@ -68,6 +68,7 @@ __all__ = [
     "BackgroundTrafficInjector",
     "LinkDegradationInjector",
     "NodeSlowdownInjector",
+    "build_injectors",
     "compose_rate_scales",
 ]
 

@@ -44,6 +44,9 @@ class TestInterferenceSpec:
         assert InterferenceSpec.from_dict(spec.to_dict()) == spec
         assert InterferenceSpec.from_dict("none").is_clean
         assert InterferenceSpec.from_dict("none").to_dict() == "none"
+        # a named entry with no sections must round-trip as a mapping too
+        named = InterferenceSpec.from_dict({"name": "placeholder"})
+        assert InterferenceSpec.from_dict(named.to_dict()) == named
 
     def test_size_strings_are_parsed(self):
         spec = InterferenceSpec.from_dict(LOADED)
@@ -121,6 +124,32 @@ class TestCampaignExecution:
         reference = [(r.axes, r.metrics, r.times) for r in serial]
         assert [(r.axes, r.metrics, r.times) for r in threaded] == reference
         assert [(r.axes, r.metrics, r.times) for r in processes] == reference
+
+    def test_same_name_workloads_with_different_params_keep_their_baselines(self):
+        """Clean-twin pairing must key on the params, not just the name."""
+        campaign = CampaignSpec.from_dict({
+            "name": "sized",
+            "workloads": [
+                {"kind": "collective", "name": "broadcast", "params": {"size": "256K"}},
+                {"kind": "collective", "name": "broadcast", "params": {"size": "4M"}},
+            ],
+            "networks": ["ethernet"],
+            "host_counts": [4],
+            "placements": ["RRP"],
+            "seeds": [0],
+            "interference": ["none", LOADED],
+        })
+        store = CampaignRunner(campaign).run()
+        rows = interference_slowdowns(store)
+        assert len(rows) == 4
+        clean = {row["workload_params"]: row for row in rows
+                 if row["interference"] == "none"}
+        assert len(clean) == 2  # the two sizes stay distinguishable
+        for row in rows:
+            twin = clean[row["workload_params"]]
+            assert row["baseline_time"] == twin["total_time"]
+        small, large = clean.values()
+        assert small["total_time"] != large["total_time"]
 
     def test_csv_rows_carry_the_interference_column(self, tmp_path):
         store = self.run(workers=1)

@@ -150,7 +150,13 @@ class TestZeroIntensityBitExact:
                           for r in records)
 
         assert per_rank(loaded_records) == per_rank(clean_records)
-        assert max(loaded_finish.values()) >= max(clean_finish.values()) - 1e-12
+        # note: no makespan monotonicity assert — max-min schedules are not
+        # monotone (slowing one flow can reorder completions and finish a
+        # staggered workload marginally earlier), so "loaded >= clean" is
+        # not an invariant; the deterministic benchmark ladder covers the
+        # expected slowdown on realistic intensities instead
+        assert set(loaded_finish) == set(clean_finish)
+        assert max(loaded_finish.values()) > 0.0
         assert stats["background_flows"] <= 10
 
 
