@@ -1,5 +1,5 @@
 """Scale benchmark — incremental contention engine vs full recomputation,
-and delta-driven event calendar vs per-step full re-query.
+delta-driven event calendar vs per-step full re-query, and tracing overhead.
 
 A 64-node synthetic iterative workload (per-group fan-ins plus an
 inter-group leader ring, the communication skeleton of LINPACK-style
@@ -18,6 +18,15 @@ the conflict components each arrival/departure dirties, while the
 full-requery loop touches every active transfer every step.  Per-event
 engine work (rate entries applied per flush) must drop ≥5× on the
 64-host / 384-transfer scenario, with identical completion records.
+
+The **tracing-overhead** section runs the same 64-host / 384-transfer
+scenario untraced, with a :class:`~repro.trace.NullTraceSink` (must be
+free: it normalises to the untraced path) and with a live
+:class:`~repro.trace.JsonlTraceSink`, asserting bit-identical results and
+recording the relative wall-clock overhead of the JSONL sink — the
+reproduction's analogue of the paper's ~0.7 % MPE instrumentation cost
+(§VI.D), tracked in ``BENCH_scale_engine.json`` so it stays visible in the
+perf trajectory.
 """
 
 from __future__ import annotations
@@ -36,6 +45,18 @@ NUM_HOSTS = 64
 GROUP_SIZE = 8
 ITERATIONS = 6
 BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_scale_engine.json"
+
+
+def _append_bench_record(record: dict) -> None:
+    """Append one result record to the cross-PR perf trajectory file."""
+    history = []
+    if BENCH_JSON.exists():
+        try:
+            history = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            history = []
+    history.append(record)
+    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
 
 
 def synthetic_workload(num_hosts: int = NUM_HOSTS, group_size: int = GROUP_SIZE,
@@ -119,14 +140,7 @@ def test_incremental_engine_scales(emit):
         "eval_ratio": round(eval_ratio, 2),
         "wall_clock_speedup": round(speedup, 2),
     }
-    history = []
-    if BENCH_JSON.exists():
-        try:
-            history = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-        except json.JSONDecodeError:
-            history = []
-    history.append(record)
-    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    _append_bench_record(record)
 
     # acceptance: >=3x fewer model evaluations.  The wall-clock win is
     # recorded (CHANGES.md / BENCH_scale_engine.json) but deliberately not
@@ -188,16 +202,119 @@ def test_engine_event_calendar_scales(emit):
         "retime_ratio": round(retime_ratio, 2),
         "wall_clock_speedup": round(speedup, 2),
     }
-    history = []
-    if BENCH_JSON.exists():
-        try:
-            history = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-        except json.JSONDecodeError:
-            history = []
-    history.append(record)
-    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    _append_bench_record(record)
 
     # acceptance: per-event engine work scales with dirtied components, not
     # the active-set size.  Wall-clock is recorded but (as above) not
     # asserted — the evaluation counters are deterministic, CI timing isn't.
     assert work_ratio >= 5.0, record
+
+
+def run_traced(trace_path=None, null_sink=False, repeats=5):
+    """Best-of-``repeats`` run of the scale workload under one sink mode.
+
+    Returns the in-run wall clock (the instrumentation perturbation — what
+    the paper's 0.7 % measures) and the close/write-out time separately:
+    the JSONL sink buffers MPE-style during the run and serialises at
+    close, exactly like MPE dumps its log at finalize.
+    """
+    from repro.trace import JsonlTraceSink, NullTraceSink
+
+    workload = synthetic_workload()
+    best = float("inf")
+    close_time = 0.0
+    results = None
+    emitted = 0
+    for _ in range(repeats):
+        if trace_path is not None:
+            sink = JsonlTraceSink(trace_path)
+        elif null_sink:
+            sink = NullTraceSink()
+        else:
+            sink = None
+        provider = ModelRateProvider(GigabitEthernetModel(), "ethernet")
+        simulator = FluidTransferSimulator(provider, trace=sink)
+        started = time.perf_counter()
+        results = simulator.run(workload)
+        elapsed = time.perf_counter() - started
+        if sink is not None:
+            close_started = time.perf_counter()
+            sink.close()
+            if elapsed < best:
+                close_time = time.perf_counter() - close_started
+            emitted = getattr(sink, "emitted", 0)
+        best = min(best, elapsed)
+    return results, best, close_time, emitted
+
+
+def test_tracing_overhead(emit, tmp_path):
+    """Tracing-overhead section: null sink free, JSONL sink ~1 us/record.
+
+    On this worst-case micro-scenario (7.5 records per transfer over a
+    fully-memoized ~18 ms base run) that per-record cost shows up as
+    roughly 10-25 % wall-clock; the tracked quantities are the recorded
+    percentage and `jsonl_us_per_record`.
+    """
+    base_results, base_time, _, _ = run_traced()
+    null_results, null_time, _, _ = run_traced(null_sink=True)
+    trace_path = tmp_path / "scale-engine.jsonl"
+    jsonl_results, jsonl_time, close_time, emitted = run_traced(
+        trace_path=trace_path)
+
+    # observability, not physics: identical completion records in all modes
+    assert null_results == base_results
+    assert jsonl_results == base_results
+    assert emitted > len(synthetic_workload())  # the trace saw the run
+
+    null_overhead = null_time / base_time - 1.0
+    jsonl_overhead = jsonl_time / base_time - 1.0
+    per_record_us = max(0.0, jsonl_time - base_time) / max(1, emitted) * 1e6
+    trace_bytes = trace_path.stat().st_size
+
+    lines = [
+        f"tracing overhead: {NUM_HOSTS} hosts, {len(synthetic_workload())} "
+        f"transfers, {emitted} trace records ({trace_bytes} bytes)",
+        "",
+        f"{'sink':<12s}{'in-run':>12s}{'overhead':>10s}{'write-out':>12s}",
+        f"{'none':<12s}{base_time:>10.4f} s{'-':>10s}{'-':>12s}",
+        f"{'null':<12s}{null_time:>10.4f} s{null_overhead:>9.1%}{'-':>12s}",
+        (f"{'jsonl':<12s}{jsonl_time:>10.4f} s{jsonl_overhead:>9.1%}"
+         f"{close_time:>10.4f} s"),
+        "",
+        f"in-run emission cost: {per_record_us:.2f} us/record "
+        f"({emitted / max(1, len(synthetic_workload())):.1f} records/transfer "
+        "on this worst-case micro-scenario)",
+        "in-run overhead is the instrumentation perturbation (the paper's "
+        "~0.7% MPE figure, §VI.D);",
+        "write-out is the buffered JSONL serialisation at close, off the "
+        "simulated clock like MPE's finalize dump.",
+    ]
+    emit("tracing_overhead", "\n".join(lines))
+
+    record = {
+        "benchmark": "bench_scale_engine/tracing_overhead",
+        "num_hosts": NUM_HOSTS,
+        "transfers": len(synthetic_workload()),
+        "trace_records": emitted,
+        "trace_bytes": trace_bytes,
+        "untraced_s": round(base_time, 4),
+        "null_sink_s": round(null_time, 4),
+        "jsonl_sink_s": round(jsonl_time, 4),
+        "jsonl_close_s": round(close_time, 4),
+        "null_overhead_pct": round(100 * null_overhead, 2),
+        "jsonl_overhead_pct": round(100 * jsonl_overhead, 2),
+        "jsonl_us_per_record": round(per_record_us, 3),
+    }
+    _append_bench_record(record)
+
+    # acceptance: the JSONL sink's in-run perturbation stays around the
+    # ~10% mark on this scenario.  The scenario is a deliberately brutal
+    # denominator — ~7.5 records per transfer over a provider PRs 1-4
+    # memoized down to ~20 ms of total work, so every microsecond of
+    # record construction (the tracked `jsonl_us_per_record`, ~1 us) is
+    # ~15 records/ms of visible overhead; real application runs (computes,
+    # matching, un-memoized pricing) amortize the same cost well below the
+    # paper's 0.7 % analogy.  The assert is a generous regression bound
+    # (35%) following this file's convention of recording wall-clock but
+    # asserting only what a loaded CI runner cannot invert.
+    assert jsonl_overhead <= 0.35, record

@@ -17,7 +17,9 @@ The package provides:
   :mod:`repro.workloads`;
 * the penalty measurement tool in :mod:`repro.benchmark`;
 * the evaluation metrics and the paper's published values in
-  :mod:`repro.analysis`.
+  :mod:`repro.analysis`;
+* the structured per-event trace pipeline (records, sinks, trace-driven
+  replay) in :mod:`repro.trace`.
 
 Quick start
 -----------

@@ -10,6 +10,7 @@ from .errors import (
     relative_errors,
 )
 from .interference import interference_slowdown_table, interference_slowdowns
+from .placement import placement_robustness, placement_robustness_table
 from .reference import (
     ETHERNET_PAPER_PARAMETERS,
     FIGURE2_PENALTIES,
@@ -25,6 +26,12 @@ from .tables import (
     penalty_ladder_table,
     per_task_error_table,
     render_table,
+)
+from .timeline import (
+    records_from_trace,
+    timeline_bins,
+    timeline_summary,
+    timeline_summary_table,
 )
 
 __all__ = [
@@ -49,4 +56,10 @@ __all__ = [
     "per_task_error_table",
     "interference_slowdowns",
     "interference_slowdown_table",
+    "placement_robustness",
+    "placement_robustness_table",
+    "records_from_trace",
+    "timeline_bins",
+    "timeline_summary",
+    "timeline_summary_table",
 ]

@@ -1,0 +1,126 @@
+"""Interference-aware placement studies — ranking policies by robustness.
+
+A campaign sweeping ``placements`` × ``interference``
+(:mod:`repro.campaign.spec`) runs every application workload under every
+placement policy on clean *and* loaded fabrics.  This module closes the
+ROADMAP's "interference-aware placement studies" loop: it folds the
+:func:`~repro.analysis.interference.interference_slowdowns` rows of a
+:class:`~repro.campaign.results.CampaignResultStore` per placement policy
+and ranks the policies by how little interference hurts them.
+
+Robustness here is the placement's slowdown profile across every loaded
+scenario it appears in: ``mean_slowdown`` (average loaded/clean makespan
+ratio), ``max_slowdown`` (worst case) and ``mean_clean_time`` (the price
+paid on an idle fabric — a policy that is robust *and* slow is not a win).
+Policies are ranked by mean slowdown, ties broken by max slowdown then by
+clean time.
+
+Duck-typed like the rest of the analysis layer: anything iterable yielding
+objects with ``axes`` / ``metrics`` mappings works, so stored JSON results
+round-trip unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from .interference import interference_slowdowns
+from .tables import render_table
+
+__all__ = ["placement_robustness", "placement_robustness_table"]
+
+#: coordinates a robustness group shares (everything but placement/interference)
+_CONTEXT_AXES = ("kind", "workload", "workload_params", "network", "model",
+                 "num_hosts")
+
+
+def placement_robustness(
+    store: Iterable,
+    group_by: Tuple[str, ...] = _CONTEXT_AXES,
+) -> List[Dict[str, Any]]:
+    """Per-(context, placement) robustness rows, ranked within each context.
+
+    Every loaded scenario with a clean twin contributes one slowdown sample
+    to its ``(context, placement)`` bucket; contexts are the sweep
+    coordinates in ``group_by``.  Rows carry ``samples`` (loaded scenarios
+    aggregated), ``mean_slowdown`` / ``max_slowdown``, ``mean_clean_time``
+    and ``rank`` (1 = most robust placement of its context).  Scenarios
+    without a clean twin or without a placement axis are skipped; an empty
+    store yields an empty list.
+    """
+    buckets: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+    for row in interference_slowdowns(store):
+        if row["slowdown"] is None or row.get("placement") is None:
+            continue
+        if row["interference"] == "none":
+            continue
+        context = tuple(row.get(name) for name in group_by)
+        key = context + (row["placement"],)
+        bucket = buckets.get(key)
+        if bucket is None:
+            bucket = buckets[key] = {
+                **{name: row.get(name) for name in group_by},
+                "placement": row["placement"],
+                "samples": 0,
+                "slowdowns": [],
+                "clean_times": [],
+            }
+        bucket["samples"] += 1
+        bucket["slowdowns"].append(row["slowdown"])
+        # a non-None slowdown implies a non-None positive baseline_time
+        bucket["clean_times"].append(row["baseline_time"])
+
+    rows: List[Dict[str, Any]] = []
+    for bucket in buckets.values():
+        slowdowns = bucket.pop("slowdowns")
+        clean_times = bucket.pop("clean_times")
+        bucket["mean_slowdown"] = sum(slowdowns) / len(slowdowns)
+        bucket["max_slowdown"] = max(slowdowns)
+        bucket["mean_clean_time"] = sum(clean_times) / len(clean_times)
+        rows.append(bucket)
+
+    # rank placements within each context: robust first, cheap tie-break
+    def sort_key(row: Dict[str, Any]) -> Tuple:
+        return (row["mean_slowdown"], row["max_slowdown"],
+                row["mean_clean_time"])
+
+    by_context: Dict[Tuple[Any, ...], List[Dict[str, Any]]] = {}
+    for row in rows:
+        context = tuple(row.get(name) for name in group_by)
+        by_context.setdefault(context, []).append(row)
+    ordered: List[Dict[str, Any]] = []
+    for context in sorted(by_context, key=repr):
+        ranked = sorted(by_context[context], key=sort_key)
+        for position, row in enumerate(ranked, start=1):
+            row["rank"] = position
+            ordered.append(row)
+    return ordered
+
+
+def placement_robustness_table(
+    store: Iterable,
+    rows: Optional[List[Dict[str, Any]]] = None,
+) -> str:
+    """Paper-style text table of :func:`placement_robustness`.
+
+    Pass precomputed ``rows`` to avoid re-running the slowdown join (the
+    CLI computes them once to decide whether to print at all).
+    """
+    if rows is None:
+        rows = placement_robustness(store)
+    body = []
+    for row in rows:
+        body.append([
+            row.get("workload"), row.get("network"),
+            "-" if row.get("num_hosts") is None else row["num_hosts"],
+            row["placement"], row["samples"],
+            row["mean_slowdown"], row["max_slowdown"],
+            row["mean_clean_time"], row["rank"],
+        ])
+    return render_table(
+        ["workload", "network", "hosts", "placement", "loaded runs",
+         "mean slowdown", "max slowdown", "clean T [s]", "rank"],
+        body,
+        title=f"placement robustness under interference ({len(rows)} rows)",
+        float_format="{:.4f}",
+    )

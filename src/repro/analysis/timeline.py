@@ -1,0 +1,207 @@
+"""Timeline analysis of structured simulation traces.
+
+The end-of-run aggregates (:class:`~repro.simulator.report.SimulationReport`,
+the typed stats snapshots) answer "how much happened"; this module answers
+"what happened *when*" by consuming the :mod:`repro.trace` record stream of
+a run — the ROADMAP's "calendar-level tracing" consumer.
+
+Three views:
+
+* :func:`timeline_summary` — scalar facts of one trace: time span, record
+  mix, peak concurrency, background-flow and stall counts;
+* :func:`timeline_bins` — the trace bucketed into fixed-width time bins with
+  per-bin activation/completion/flush/injection counts and the active
+  transfer count at each bin edge (a text-mode Gantt substitute);
+* :func:`records_from_trace` — the ``task.event`` records of a trace
+  rebuilt as :class:`~repro.simulator.report.EventRecord` rows, so every
+  report helper (penalty histograms, per-rank communication times) runs
+  off a trace file exactly as it runs off a live report.
+
+All three accept a :class:`~repro.trace.TraceLog` or any iterable of
+:class:`~repro.trace.TraceRecord`; empty traces produce empty-but-valid
+results (no special-casing needed downstream).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..exceptions import TraceError
+from ..simulator.report import EventRecord
+from ..trace.records import TraceLog, TraceRecord
+from .tables import render_table
+
+__all__ = [
+    "timeline_summary",
+    "timeline_bins",
+    "timeline_summary_table",
+    "records_from_trace",
+]
+
+
+def _as_log(trace: Iterable[TraceRecord]) -> TraceLog:
+    return trace if isinstance(trace, TraceLog) else TraceLog(trace)
+
+
+def records_from_trace(trace: Iterable[TraceRecord]) -> List[EventRecord]:
+    """Rebuild :class:`EventRecord` rows from a trace's ``task.event`` stream.
+
+    The payload mirrors the report record field-for-field, so a trace file
+    is a faithful substitute for the in-memory report — the same helpers
+    (``penalty_histogram``, ``communication_time``, ...) apply.
+    """
+    records: List[EventRecord] = []
+    for record in _as_log(trace).records_of("task.event"):
+        data = record.data
+        penalty = data.get("penalty")
+        peer = data.get("peer")
+        records.append(EventRecord(
+            rank=int(record.subject or 0),
+            index=int(data.get("index", len(records))),
+            kind=str(data.get("kind", "")),
+            start=float(data.get("start", record.time)),
+            end=float(data.get("end", record.time)),
+            size=int(data.get("size", 0)),
+            peer=None if peer is None else int(peer),
+            label=str(data.get("label", "")),
+            penalty=None if penalty is None else float(penalty),
+        ))
+    return records
+
+
+def timeline_summary(trace: Iterable[TraceRecord]) -> Dict[str, Any]:
+    """Scalar summary of one trace (empty traces yield zeroed fields)."""
+    log = _as_log(trace)
+    kinds = log.kinds()
+    times = [record.time for record in log]
+    active = 0
+    peak_active = 0
+    for record in log:
+        if record.kind == "calendar.activate":
+            active += 1
+            peak_active = max(peak_active, active)
+        elif record.kind in ("calendar.complete", "calendar.cancel"):
+            active -= 1
+    return {
+        "records": len(log),
+        "t_start": min(times) if times else 0.0,
+        "t_end": max(times) if times else 0.0,
+        "duration": log.duration,
+        "steps": kinds.get("step", 0),
+        "activations": kinds.get("calendar.activate", 0),
+        "completions": kinds.get("calendar.complete", 0),
+        "cancellations": kinds.get("calendar.cancel", 0),
+        "retimings": kinds.get("calendar.retime", 0),
+        "flushes": kinds.get("calendar.flush", 0),
+        "reprices": kinds.get("calendar.reprice", 0),
+        "compactions": kinds.get("calendar.compaction", 0),
+        "stalls": kinds.get("calendar.stall", 0),
+        "injector_events": kinds.get("inject.apply", 0),
+        "background_flows": kinds.get("inject.flow_start", 0),
+        "task_events": kinds.get("task.event", 0),
+        "peak_active_transfers": peak_active,
+        "kinds": dict(sorted(kinds.items())),
+    }
+
+
+def timeline_bins(trace: Iterable[TraceRecord], bins: int = 10) -> List[Dict[str, Any]]:
+    """Bucket a trace into ``bins`` equal time windows.
+
+    Each row carries the window bounds, the record count, the calendar
+    activity inside it and ``active_after`` — the in-flight transfer count
+    at the window's trailing edge.  An empty trace yields no rows.
+    """
+    if bins < 1:
+        # TraceError (a ReproError) so CLI consumers (`repro trace summarize
+        # --bins 0`) get the clean error path, not a traceback
+        raise TraceError(f"bins must be >= 1, got {bins}")
+    log = _as_log(trace)
+    if not len(log):
+        return []
+    times = [record.time for record in log]
+    t_start, t_end = min(times), max(times)
+    width = (t_end - t_start) / bins if t_end > t_start else 0.0
+    rows: List[Dict[str, Any]] = [
+        {
+            "bin": index,
+            "t_start": t_start + index * width,
+            "t_end": t_start + (index + 1) * width if width else t_end,
+            "records": 0,
+            "activations": 0,
+            "completions": 0,
+            "cancellations": 0,
+            "flushes": 0,
+            "retimings": 0,
+            "injections": 0,
+            "task_events": 0,
+            "active_after": 0,
+        }
+        for index in range(bins)
+    ]
+    active = 0
+    for record in log:
+        if width > 0.0:
+            index = min(bins - 1, int((record.time - t_start) / width))
+        else:
+            index = bins - 1
+        row = rows[index]
+        row["records"] += 1
+        if record.kind == "calendar.activate":
+            active += 1
+            row["activations"] += 1
+        elif record.kind == "calendar.complete":
+            active -= 1
+            row["completions"] += 1
+        elif record.kind == "calendar.cancel":
+            # cancels leave the active set but are NOT completions — the
+            # binned table must agree with timeline_summary's split
+            active -= 1
+            row["cancellations"] += 1
+        elif record.kind == "calendar.flush":
+            row["flushes"] += 1
+        elif record.kind == "calendar.retime":
+            row["retimings"] += 1
+        elif record.kind.startswith("inject."):
+            row["injections"] += 1
+        elif record.kind == "task.event":
+            row["task_events"] += 1
+        row["active_after"] = active
+    # carry the running active count across empty bins
+    running = 0
+    for row in rows:
+        if row["records"] == 0:
+            row["active_after"] = running
+        running = row["active_after"]
+    return rows
+
+
+def timeline_summary_table(trace: Iterable[TraceRecord], bins: int = 10,
+                           title: Optional[str] = None) -> str:
+    """Paper-style text rendering: summary header plus the binned timeline."""
+    log = _as_log(trace)
+    summary = timeline_summary(log)
+    header = (
+        f"records: {summary['records']}  span: "
+        f"[{summary['t_start']:.6f}s, {summary['t_end']:.6f}s]  "
+        f"steps: {summary['steps']}  activations: {summary['activations']}  "
+        f"completions: {summary['completions']}  "
+        f"retimings: {summary['retimings']}  "
+        f"bg flows: {summary['background_flows']}  "
+        f"peak active: {summary['peak_active_transfers']}"
+    )
+    rows = [
+        [
+            f"[{row['t_start']:.4f}, {row['t_end']:.4f})",
+            row["records"], row["activations"], row["completions"],
+            row["cancellations"], row["flushes"], row["retimings"],
+            row["injections"], row["task_events"], row["active_after"],
+        ]
+        for row in timeline_bins(log, bins=bins)
+    ]
+    table = render_table(
+        ["window [s]", "records", "act", "done", "cancel", "flush", "retime",
+         "inject", "events", "active"],
+        rows,
+        title=title or f"trace timeline ({summary['records']} records)",
+    )
+    return header + "\n\n" + table

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from pathlib import Path
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from ..cluster.spec import custom_cluster
@@ -49,6 +50,7 @@ from ..network.technologies import get_technology
 from ..simulator.engine import EngineConfig
 from ..simulator.providers import ModelRateProvider
 from ..simulator.simulator import Simulator
+from ..trace import JsonlTraceSink, TraceRecord
 from .persistence import PersistentPenaltyCache
 from .results import CampaignResultStore, ScenarioResult
 from .spec import CampaignSpec, ScenarioSpec
@@ -107,12 +109,22 @@ def _execute_graph_scenario(
     )
 
 
+def _scenario_trace_path(trace_dir: str, scenario: ScenarioSpec) -> Path:
+    return Path(trace_dir) / f"{scenario.scenario_id}.jsonl"
+
+
 def _execute_app_scenario(
     scenario: ScenarioSpec,
     cores_per_node: int,
     cache: Optional[PenaltyCache],
+    trace_dir: Optional[str] = None,
 ) -> Tuple[ScenarioResult, Dict[str, int]]:
-    """Run one application scenario through the predictive simulator."""
+    """Run one application scenario through the predictive simulator.
+
+    With ``trace_dir`` set the run's :mod:`repro.trace` record stream is
+    written to ``<trace_dir>/<scenario_id>.jsonl`` (the directory is created
+    on demand); tracing never changes the results.
+    """
     application = scenario.build_application()
     cluster = custom_cluster(
         num_nodes=int(scenario.num_hosts or 1),
@@ -122,16 +134,47 @@ def _execute_app_scenario(
     model = resolve_model(scenario.model, scenario.network)
     provider = ModelRateProvider(model, cluster.technology, cache=cache)
     injectors = scenario.build_injectors()
-    config = EngineConfig(injectors=injectors) if injectors else None
-    simulator = Simulator(
-        cluster, provider, technology=cluster.technology, config=config,
-        mode="predictive", model_name=model.name,
-    )
-    report = simulator.run(
-        application,
-        placement=scenario.placement or "RRP",
-        seed=int(scenario.seed or 0),
-    )
+    sink = None
+    if trace_dir is not None:
+        path = _scenario_trace_path(trace_dir, scenario)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        sink = JsonlTraceSink(path)
+        # run.meta header makes the file self-describing, so `repro trace
+        # replay` can rebuild this scenario without the campaign spec
+        params = scenario.workload.param_dict()
+        sink.emit(TraceRecord(0.0, "run.meta", None, {
+            "scenario_id": scenario.scenario_id,
+            "workload": scenario.workload.name,
+            "kind": scenario.workload.kind,
+            "hosts": scenario.num_hosts,
+            "tasks": params.get("num_tasks", scenario.num_hosts),
+            "size": params.get("size"),
+            "problem_size": params.get("problem_size", 4000),
+            "block_size": params.get("block_size", 200),
+            "network": scenario.network,
+            "placement": scenario.placement or "RRP",
+            "seed": int(scenario.seed or 0),
+            "cores_per_node": cores_per_node,
+            "mode": "predictive",
+            "interference": (scenario.interference.to_dict()
+                             if scenario.interference else "none"),
+        }))
+    config = None
+    if injectors or sink is not None:
+        config = EngineConfig(injectors=injectors, trace=sink)
+    try:
+        simulator = Simulator(
+            cluster, provider, technology=cluster.technology, config=config,
+            mode="predictive", model_name=model.name,
+        )
+        report = simulator.run(
+            application,
+            placement=scenario.placement or "RRP",
+            seed=int(scenario.seed or 0),
+        )
+    finally:
+        if sink is not None:
+            sink.close()
     times = {str(rank): value for rank, value in report.communication_times().items()}
     metrics = {
         "mean_penalty": report.average_penalty,
@@ -147,15 +190,17 @@ def _cache_snapshot(cache: PenaltyCache) -> Tuple[bool, List[Tuple[Hashable, Dic
 
 
 def _app_scenario_job(
-    payload: Tuple[ScenarioSpec, int, Tuple[bool, List[Tuple[Hashable, Dict]]]],
+    payload: Tuple[ScenarioSpec, int, Tuple[bool, List[Tuple[Hashable, Dict]]],
+                   Optional[str]],
 ) -> Tuple[ScenarioResult, Dict[str, int], List[Tuple[Hashable, Dict]]]:
     """Process-pool job: rebuild a worker-local cache, run, return new entries."""
-    scenario, cores_per_node, (persistent, entries) = payload
+    scenario, cores_per_node, (persistent, entries), trace_dir = payload
     cache: PenaltyCache = PersistentPenaltyCache() if persistent else PenaltyCache()
     for key, mapping in entries:
         # entries are already in the parent cache's keyspace: bypass re-encoding
         PenaltyCache.put(cache, key, mapping)
-    result, stats = _execute_app_scenario(scenario, cores_per_node, cache)
+    result, stats = _execute_app_scenario(scenario, cores_per_node, cache,
+                                          trace_dir=trace_dir)
     seeded = {key for key, _ in entries}
     fresh = [(key, mapping) for key, mapping in cache.items() if key not in seeded]
     return result, stats, fresh
@@ -177,6 +222,11 @@ class CampaignRunner:
         Worker-pool width; ``<= 1`` runs inline regardless of ``backend``.
     backend:
         ``"thread"`` (default), ``"process"`` or ``"serial"``.
+    trace_dir:
+        Per-scenario trace directory (overrides ``spec.trace_dir``); every
+        application scenario writes ``<trace_dir>/<scenario_id>.jsonl``.
+        ``None`` falls back to the spec's toggle; tracing off is the
+        bit-exact default.
     """
 
     def __init__(
@@ -185,6 +235,7 @@ class CampaignRunner:
         cache: Optional[PenaltyCache] = None,
         max_workers: int = 1,
         backend: str = "thread",
+        trace_dir: Optional[str] = None,
     ) -> None:
         if backend not in BACKENDS:
             raise WorkloadError(
@@ -194,7 +245,18 @@ class CampaignRunner:
         self.cache = cache if cache is not None else PenaltyCache(max_entries=65536)
         self.max_workers = int(max_workers)
         self.backend = "serial" if self.max_workers <= 1 else backend
+        self.trace_dir = trace_dir if trace_dir is not None else spec.trace_dir
         self.stats = EngineStats()
+
+    def trace_paths(self) -> List[Path]:
+        """Trace files this campaign would write (application scenarios only)."""
+        if self.trace_dir is None:
+            return []
+        return [
+            _scenario_trace_path(self.trace_dir, scenario)
+            for scenario in self.spec.scenarios()
+            if scenario.is_application
+        ]
 
     # ------------------------------------------------------------------ run
     def run(self) -> CampaignResultStore:
@@ -215,7 +277,8 @@ class CampaignRunner:
         for scenario in scenarios:
             if scenario.is_application:
                 result, snapshot = _execute_app_scenario(
-                    scenario, self.spec.cores_per_node, self.cache
+                    scenario, self.spec.cores_per_node, self.cache,
+                    trace_dir=self.trace_dir,
                 )
                 _merge_stats(self.stats, snapshot)
             else:
@@ -262,7 +325,8 @@ class CampaignRunner:
                 if self.backend == "thread":
                     outcomes = executor.map(
                         lambda s: _execute_app_scenario(
-                            s, self.spec.cores_per_node, self.cache
+                            s, self.spec.cores_per_node, self.cache,
+                            trace_dir=self.trace_dir,
                         ),
                         [scenarios[i] for i in app_indices],
                     )
@@ -272,7 +336,8 @@ class CampaignRunner:
                 else:
                     snapshot = _cache_snapshot(self.cache)
                     payloads = [
-                        (scenarios[i], self.spec.cores_per_node, snapshot)
+                        (scenarios[i], self.spec.cores_per_node, snapshot,
+                         self.trace_dir)
                         for i in app_indices
                     ]
                     for index, (result, stats, entries) in zip(

@@ -55,6 +55,12 @@ either the string ``"none"`` or a mapping with a ``name`` plus any of the
 keyword parameters feed the injector constructors of
 :mod:`repro.simulator.interference` (the scenario seed offsets the
 background injector's seed, so repetitions decorrelate the interference).
+
+A ``"trace_dir"`` entry turns on per-scenario tracing: every application
+scenario writes its structured :mod:`repro.trace` record stream to
+``<trace_dir>/<scenario_id>.jsonl``, and ``repro campaign`` prints a
+trace-summary table next to the results.  Omitted (the default), tracing is
+off and every run is bit-exact with the untraced path.
 """
 
 from __future__ import annotations
@@ -384,6 +390,10 @@ class CampaignSpec:
         default_factory=lambda: [InterferenceSpec()]
     )
     cores_per_node: int = 2
+    #: directory for per-scenario JSONL trace files (``<scenario_id>.jsonl``,
+    #: application scenarios only — graph pricing has no time dimension);
+    #: ``None`` disables tracing (the bit-exact default)
+    trace_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.workloads:
@@ -468,6 +478,7 @@ class CampaignSpec:
             "seeds": list(self.seeds),
             "interference": [i.to_dict() for i in self.interference],
             "cores_per_node": self.cores_per_node,
+            **({"trace_dir": self.trace_dir} if self.trace_dir else {}),
         }
 
     @classmethod
@@ -477,6 +488,7 @@ class CampaignSpec:
         unknown = set(data) - {
             "name", "workloads", "networks", "models", "host_counts",
             "placements", "seeds", "interference", "cores_per_node",
+            "trace_dir",
         }
         if unknown:
             raise WorkloadError(f"unknown campaign spec keys: {sorted(unknown)}")
@@ -495,6 +507,8 @@ class CampaignSpec:
             ]
         if "cores_per_node" in data:
             kwargs["cores_per_node"] = int(data["cores_per_node"])
+        if data.get("trace_dir") is not None:
+            kwargs["trace_dir"] = str(data["trace_dir"])
         return cls(name=str(data.get("name", "campaign")), workloads=workloads, **kwargs)
 
     @classmethod

@@ -11,7 +11,13 @@ Gives shell access to the three everyday operations of the library:
 * ``campaign`` — expand a declarative JSON campaign spec (sweeps over
   workloads × networks × models × host counts × placements, see
   :mod:`repro.campaign.spec`) and execute every scenario on a worker pool
-  with a shared — optionally disk-persistent — penalty cache.
+  with a shared — optionally disk-persistent — penalty cache;
+* ``trace`` — the structured-trace pipeline (:mod:`repro.trace`):
+  ``trace record`` runs one workload and writes its per-event JSONL trace,
+  ``trace summarize`` prints the timeline report of a trace file, and
+  ``trace replay`` re-imposes a recorded interference schedule on the
+  recorded workload through :class:`repro.trace.TraceReplayInjector` and
+  checks the replay reproduces the recorded run.
 
 Examples::
 
@@ -21,14 +27,20 @@ Examples::
     python -m repro campaign --spec sweep.json --workers 4 --cache penalties.json
     python -m repro simulate --workload broadcast --hosts 8 --bg-rate 200 \\
         --bg-size 4M --degrade-factor 0.5 --degrade-until 0.2
+    python -m repro trace record --workload ring-allgather --hosts 4 \\
+        --bg-rate 100 --bg-max-flows 8 --out run.jsonl
+    python -m repro trace summarize run.jsonl
+    python -m repro trace replay run.jsonl
 
 ``simulate`` runs one application workload through the predictive (or
 emulated) simulator, optionally on a *loaded* fabric: background traffic,
 link degradation and node slowdown injectors
 (:mod:`repro.simulator.interference`) are configured from flags and the
-loaded run is reported next to its clean twin with the foreground slowdown.
-The ``campaign`` spec's ``interference`` axis does the same sweep
-declaratively.
+loaded run is reported next to its clean twin with the foreground slowdown;
+``--trace`` additionally writes the loaded (or clean) run's structured
+trace.  The ``campaign`` spec's ``interference`` axis does the same sweep
+declaratively; ``campaign --trace-dir`` writes one trace file per
+application scenario and prints a trace-summary table.
 """
 
 from __future__ import annotations
@@ -38,7 +50,14 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from .analysis import interference_slowdown_table, render_table
+from .analysis import (
+    interference_slowdown_table,
+    placement_robustness,
+    placement_robustness_table,
+    render_table,
+    timeline_summary,
+    timeline_summary_table,
+)
 from .benchmark import PenaltyTool
 from .campaign import (
     CampaignRunner,
@@ -54,6 +73,12 @@ from .exceptions import ReproError
 from .network import get_technology
 from .scheme import parse_scheme
 from .simulator import EngineConfig, Simulator
+from .trace import (
+    JsonlTraceSink,
+    TraceRecord,
+    TraceReplayInjector,
+    read_trace_log,
+)
 from .units import MB, parse_size
 
 __all__ = ["main", "build_parser"]
@@ -111,12 +136,19 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         elif cache.loaded_entries:
             print(f"penalty cache: {cache.loaded_entries} entries from {args.cache}")
     runner = CampaignRunner(spec, cache=cache, max_workers=args.workers,
-                            backend=args.backend)
+                            backend=args.backend, trace_dir=args.trace_dir)
     store = runner.run()
     print(store.summary_table())
     if any(r.axes.get("interference") not in (None, "none") for r in store):
         print()
         print(interference_slowdown_table(store))
+        robustness_rows = placement_robustness(store)
+        if robustness_rows:
+            print()
+            print(placement_robustness_table(store, rows=robustness_rows))
+    if runner.trace_dir is not None:
+        print()
+        print(_campaign_trace_table(runner))
     stats = store.stats
     print(
         f"\n{len(store)} scenarios | model evaluations: "
@@ -133,6 +165,29 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         store.to_csv(args.csv)
         print(f"CSV rows written to {args.csv}")
     return 0
+
+
+def _campaign_trace_table(runner: CampaignRunner) -> str:
+    """Per-scenario trace summary of a traced campaign run."""
+    rows = []
+    for path in runner.trace_paths():
+        if not path.exists():
+            continue
+        summary = timeline_summary(read_trace_log(path))
+        rows.append([
+            path.stem, summary["records"], summary["steps"],
+            summary["activations"], summary["completions"],
+            summary["retimings"], summary["background_flows"],
+            summary["peak_active_transfers"], summary["duration"],
+        ])
+    return render_table(
+        ["scenario", "records", "steps", "act", "done", "retime",
+         "bg flows", "peak", "span [s]"],
+        rows,
+        title=(f"trace summary: {len(rows)} scenario traces in "
+               f"{runner.trace_dir}"),
+        float_format="{:.4f}",
+    )
 
 
 def _interference_from_args(args: argparse.Namespace) -> InterferenceSpec:
@@ -174,7 +229,9 @@ def _interference_from_args(args: argparse.Namespace) -> InterferenceSpec:
     return InterferenceSpec.from_dict(spec)
 
 
-def cmd_simulate(args: argparse.Namespace) -> int:
+def _scenario_from_args(args: argparse.Namespace,
+                        scenario_id: str) -> ScenarioSpec:
+    """Fold the shared workload flags into one :class:`ScenarioSpec`."""
     kind = "linpack" if args.workload == "linpack" else "collective"
     if kind == "collective" and args.workload not in COLLECTIVE_PATTERNS:
         raise ReproError(
@@ -189,36 +246,74 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         params["size"] = parse_size(args.size) if args.size else 1 * MB
     workload = WorkloadSpec(kind=kind, name=args.workload,
                             params=tuple(sorted(params.items())))
-    interference = _interference_from_args(args)
-    scenario = ScenarioSpec(
-        scenario_id=f"simulate-{args.workload}",
+    return ScenarioSpec(
+        scenario_id=scenario_id,
         workload=workload, network=args.network, model="auto",
         num_hosts=args.hosts, placement=args.placement, seed=args.seed,
-        interference=interference,
+        interference=_interference_from_args(args),
     )
-    application = scenario.build_application()
+
+
+def _run_meta(args: argparse.Namespace, scenario: ScenarioSpec) -> TraceRecord:
+    """The ``run.meta`` header record: everything replay needs to rebuild
+    the run (workload, cluster and injector flags)."""
+    interference = scenario.interference.to_dict() if scenario.interference else "none"
+    return TraceRecord(0.0, "run.meta", None, {
+        "workload": args.workload,
+        "hosts": args.hosts,
+        "tasks": args.tasks or args.hosts,
+        "size": args.size,
+        "problem_size": args.problem_size,
+        "block_size": args.block_size,
+        "network": args.network,
+        "placement": args.placement,
+        "seed": args.seed,
+        "cores_per_node": args.cores_per_node,
+        "mode": args.mode,
+        "interference": interference,
+    })
+
+
+def _run_scenario(args: argparse.Namespace, application,
+                  injectors, trace=None):
+    """One engine run of the (already built) application under ``injectors``."""
     cluster = custom_cluster(num_nodes=args.hosts,
                              cores_per_node=args.cores_per_node,
                              technology=args.network)
+    config = EngineConfig(injectors=injectors, trace=trace)
+    if args.mode == "emulated":
+        simulator = Simulator.emulated(cluster, config=config)
+    else:
+        simulator = Simulator.predictive(cluster, config=config)
+    report = simulator.run(application, placement=args.placement,
+                           seed=args.seed)
+    return report, simulator.last_engine_stats
 
-    def run(injectors):
-        config = EngineConfig(injectors=injectors)
-        if args.mode == "emulated":
-            simulator = Simulator.emulated(cluster, config=config)
-        else:
-            simulator = Simulator.predictive(cluster, config=config)
-        report = simulator.run(application, placement=args.placement,
-                               seed=args.seed)
-        return report, simulator.last_engine_stats
 
-    clean_report, _ = run(())
-    rows = [["clean", clean_report.total_time, clean_report.average_penalty, 0, 0]]
+def cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = _scenario_from_args(args, f"simulate-{args.workload}")
+    application = scenario.build_application()
+
     injectors = scenario.build_injectors()
-    if injectors:
-        loaded_report, stats = run(injectors)
-        rows.append(["loaded", loaded_report.total_time,
-                     loaded_report.average_penalty,
-                     stats["background_flows"], stats["injected_events"]])
+    sink = JsonlTraceSink(args.trace) if args.trace else None
+    if sink is not None:
+        sink.emit(_run_meta(args, scenario))
+    try:
+        # with --trace, the traced run is the loaded one (the clean twin
+        # stays untraced); on a clean-only invocation the clean run is traced
+        clean_report, _ = _run_scenario(args, application, (),
+                                        trace=None if injectors else sink)
+        rows = [["clean", clean_report.total_time,
+                 clean_report.average_penalty, 0, 0]]
+        if injectors:
+            loaded_report, stats = _run_scenario(args, application, injectors,
+                                                 trace=sink)
+            rows.append(["loaded", loaded_report.total_time,
+                         loaded_report.average_penalty,
+                         stats["background_flows"], stats["injected_events"]])
+    finally:
+        if sink is not None:
+            sink.close()
     print(render_table(
         ["fabric", "total T [s]", "mean penalty", "bg flows", "events"],
         rows,
@@ -232,6 +327,98 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         if clean_report.total_time > 0:
             slowdown = loaded_report.total_time / clean_report.total_time
             print(f"foreground slowdown: {slowdown:.3f}x")
+    if sink is not None:
+        print(f"trace: {sink.emitted} records written to {args.trace}")
+    return 0
+
+
+def cmd_trace_record(args: argparse.Namespace) -> int:
+    """``repro trace record``: run one workload, write its JSONL trace."""
+    scenario = _scenario_from_args(args, f"trace-{args.workload}")
+    application = scenario.build_application()
+    injectors = scenario.build_injectors()
+    with JsonlTraceSink(args.out) as sink:
+        sink.emit(_run_meta(args, scenario))
+        report, stats = _run_scenario(args, application, injectors, trace=sink)
+        emitted = sink.emitted
+    print(render_table(
+        ["workload", "tasks", "fabric", "total T [s]", "records"],
+        [[application.name, application.num_tasks,
+          "loaded" if injectors else "clean", report.total_time, emitted]],
+        title=f"trace recorded to {args.out}",
+        float_format="{:.4f}",
+    ))
+    return 0
+
+
+def cmd_trace_summarize(args: argparse.Namespace) -> int:
+    """``repro trace summarize``: timeline report of a trace file."""
+    log = read_trace_log(args.trace_file)
+    print(timeline_summary_table(log, bins=args.bins,
+                                 title=f"trace timeline: {args.trace_file}"))
+    return 0
+
+
+def cmd_trace_replay(args: argparse.Namespace) -> int:
+    """``repro trace replay``: re-impose a recorded interference schedule.
+
+    The workload/cluster flags come from the trace's ``run.meta`` record
+    (any explicitly passed flag overrides it); the injector schedule is the
+    trace's own ``inject.*`` stream, replayed through
+    :class:`~repro.trace.TraceReplayInjector`.  Replaying a run's own trace
+    reproduces it bit-exactly, so the recorded and replayed makespans must
+    agree.
+    """
+    log = read_trace_log(args.trace_file)
+    meta = log.meta()
+    if not meta:
+        raise ReproError(
+            f"{args.trace_file!r} has no run.meta record; re-record it with "
+            "'repro trace record' (or pass a trace written by "
+            "'repro simulate --trace')"
+        )
+    overridden = False
+    for key in ("workload", "hosts", "tasks", "size", "problem_size",
+                "block_size", "network", "placement", "seed",
+                "cores_per_node", "mode"):
+        if getattr(args, key, None) is None and key in meta:
+            setattr(args, key, meta[key])
+        elif getattr(args, key, None) is not None and \
+                getattr(args, key) != meta.get(key):
+            overridden = True  # cross-scenario replay: no bit-exactness claim
+    scenario = _scenario_from_args(args, f"replay-{args.workload}")
+    application = scenario.build_application()
+    replay = TraceReplayInjector.from_log(log)
+    injectors = (replay,) if replay.events else ()
+    report, stats = _run_scenario(args, application, injectors)
+
+    recorded_events = log.records_of("task.event")
+    recorded_makespan = max((float(r.data.get("end", r.time))
+                             for r in recorded_events), default=None)
+    rows = [["replayed", report.total_time, len(replay.events),
+             stats["background_flows"]]]
+    if recorded_makespan is not None:
+        rows.insert(0, ["recorded", recorded_makespan, len(replay.events),
+                        sum(1 for r in log if r.kind == "inject.flow_start")])
+    print(render_table(
+        ["run", "total T [s]", "replayed events", "bg flows"],
+        rows,
+        title=(f"trace replay of {args.trace_file}: {application.name} on "
+               f"{args.hosts}x {args.network}"),
+        float_format="{:.6f}",
+    ))
+    if overridden:
+        # the recorded schedule was imposed on a *different* scenario —
+        # the whole point of cross-workload replay, so no reproduction
+        # claim (and no failure exit) applies
+        print("scenario overridden by flags: recorded and replayed runs are "
+              "not comparable")
+    elif recorded_makespan is not None:
+        match = abs(recorded_makespan - report.total_time) <= 1e-9 * max(
+            1.0, abs(recorded_makespan))
+        print(f"replay reproduces the recorded run: {'yes' if match else 'NO'}")
+        if not match:
+            return 1
     return 0
 
 
@@ -288,48 +475,104 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write the full results as JSON to this path")
     campaign.add_argument("--csv", default=None,
                           help="write summary rows as CSV to this path")
+    campaign.add_argument("--trace-dir", default=None,
+                          help="write one JSONL trace per application scenario "
+                               "into this directory (overrides the spec's "
+                               "trace_dir)")
     campaign.set_defaults(handler=cmd_campaign)
+
+    def add_workload_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--workload", default="broadcast",
+                       help="collective pattern (broadcast, ring-allgather, "
+                            "flat-gather, alltoall) or 'linpack'")
+        p.add_argument("--network", default="ethernet")
+        p.add_argument("--hosts", type=int, default=8)
+        p.add_argument("--tasks", type=int, default=None,
+                       help="MPI tasks (defaults to --hosts)")
+        p.add_argument("--size", default=None,
+                       help="collective message size (e.g. 1M)")
+        p.add_argument("--problem-size", type=int, default=4000)
+        p.add_argument("--block-size", type=int, default=200)
+        p.add_argument("--placement", default="RRP")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--cores-per-node", type=int, default=2)
+        p.add_argument("--mode", choices=["predictive", "emulated"],
+                       default="predictive")
+
+    def add_injector_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--bg-rate", type=float, default=0.0,
+                       help="background flow arrivals per second (0 = off)")
+        p.add_argument("--bg-size", default=None,
+                       help="background flow size (default 4M)")
+        p.add_argument("--bg-seed", type=int, default=0)
+        p.add_argument("--bg-max-flows", type=int, default=None)
+        p.add_argument("--bg-until", type=float, default=None)
+        p.add_argument("--degrade-factor", type=float, default=1.0,
+                       help="link capacity multiplier during the window (1 = off)")
+        p.add_argument("--degrade-start", type=float, default=0.0)
+        p.add_argument("--degrade-until", type=float, default=None)
+        p.add_argument("--degrade-hosts", default=None,
+                       help="comma-separated host ids (default: all)")
+        p.add_argument("--slowdown-factor", type=float, default=1.0,
+                       help="compute-rate multiplier during the window (1 = off)")
+        p.add_argument("--slowdown-start", type=float, default=0.0)
+        p.add_argument("--slowdown-until", type=float, default=None)
+        p.add_argument("--slowdown-hosts", default=None,
+                       help="comma-separated host ids (default: all)")
 
     simulate = sub.add_parser(
         "simulate",
         help="simulate one application workload, optionally on a loaded fabric",
     )
-    simulate.add_argument("--workload", default="broadcast",
-                          help="collective pattern (broadcast, ring-allgather, "
-                               "flat-gather, alltoall) or 'linpack'")
-    simulate.add_argument("--network", default="ethernet")
-    simulate.add_argument("--hosts", type=int, default=8)
-    simulate.add_argument("--tasks", type=int, default=None,
-                          help="MPI tasks (defaults to --hosts)")
-    simulate.add_argument("--size", default=None,
-                          help="collective message size (e.g. 1M)")
-    simulate.add_argument("--problem-size", type=int, default=4000)
-    simulate.add_argument("--block-size", type=int, default=200)
-    simulate.add_argument("--placement", default="RRP")
-    simulate.add_argument("--seed", type=int, default=0)
-    simulate.add_argument("--cores-per-node", type=int, default=2)
-    simulate.add_argument("--mode", choices=["predictive", "emulated"],
-                          default="predictive")
-    simulate.add_argument("--bg-rate", type=float, default=0.0,
-                          help="background flow arrivals per second (0 = off)")
-    simulate.add_argument("--bg-size", default=None,
-                          help="background flow size (default 4M)")
-    simulate.add_argument("--bg-seed", type=int, default=0)
-    simulate.add_argument("--bg-max-flows", type=int, default=None)
-    simulate.add_argument("--bg-until", type=float, default=None)
-    simulate.add_argument("--degrade-factor", type=float, default=1.0,
-                          help="link capacity multiplier during the window (1 = off)")
-    simulate.add_argument("--degrade-start", type=float, default=0.0)
-    simulate.add_argument("--degrade-until", type=float, default=None)
-    simulate.add_argument("--degrade-hosts", default=None,
-                          help="comma-separated host ids (default: all)")
-    simulate.add_argument("--slowdown-factor", type=float, default=1.0,
-                          help="compute-rate multiplier during the window (1 = off)")
-    simulate.add_argument("--slowdown-start", type=float, default=0.0)
-    simulate.add_argument("--slowdown-until", type=float, default=None)
-    simulate.add_argument("--slowdown-hosts", default=None,
-                          help="comma-separated host ids (default: all)")
+    add_workload_arguments(simulate)
+    add_injector_arguments(simulate)
+    simulate.add_argument("--trace", default=None,
+                          help="write the run's structured JSONL trace to this "
+                               "path (the loaded run when injectors are on)")
     simulate.set_defaults(handler=cmd_simulate)
+
+    trace = sub.add_parser(
+        "trace",
+        help="record / summarize / replay structured simulation traces",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    record = trace_sub.add_parser(
+        "record", help="run one workload and write its JSONL trace")
+    add_workload_arguments(record)
+    add_injector_arguments(record)
+    record.add_argument("--out", required=True,
+                        help="trace output path (JSONL)")
+    record.set_defaults(handler=cmd_trace_record)
+
+    summarize = trace_sub.add_parser(
+        "summarize", help="print the timeline summary of a trace file")
+    summarize.add_argument("trace_file", help="JSONL trace path")
+    summarize.add_argument("--bins", type=int, default=10,
+                           help="timeline windows (default 10)")
+    summarize.set_defaults(handler=cmd_trace_summarize)
+
+    replay = trace_sub.add_parser(
+        "replay",
+        help="replay a recorded interference schedule through the engine")
+    replay.add_argument("trace_file", help="JSONL trace path (needs run.meta)")
+    for flag, kwargs in (
+        ("--workload", {}), ("--network", {}), ("--hosts", {"type": int}),
+        ("--tasks", {"type": int}), ("--size", {}),
+        ("--problem-size", {"type": int}), ("--block-size", {"type": int}),
+        ("--placement", {}), ("--seed", {"type": int}),
+        ("--cores-per-node", {"type": int}),
+        ("--mode", {"choices": ["predictive", "emulated"]}),
+    ):
+        replay.add_argument(flag, default=None,
+                            help="override the trace's recorded value", **kwargs)
+    # replay imposes the recorded schedule, not freshly built injectors
+    replay.set_defaults(handler=cmd_trace_replay, bg_rate=0.0, bg_size=None,
+                        bg_seed=0, bg_max_flows=None, bg_until=None,
+                        degrade_factor=1.0, degrade_start=0.0,
+                        degrade_until=None, degrade_hosts=None,
+                        slowdown_factor=1.0, slowdown_start=0.0,
+                        slowdown_until=None, slowdown_hosts=None)
 
     calibrate = sub.add_parser("calibrate", help="estimate (beta, gamma_o, gamma_i)")
     calibrate.add_argument("--network", default="ethernet")

@@ -109,6 +109,45 @@ Simulation cost therefore scales with *state changes* (how many transfers
 each arrival/departure re-prices) rather than with the size of the active
 set: per event the provider prices one dirtied conflict component and the
 calendar re-times only the transfers inside it.
+
+Calendar trace events
+---------------------
+When a :class:`repro.trace.TraceSink` is attached (``trace=`` on the
+calendar or the simulator), the calendar emits one structured
+:class:`~repro.trace.TraceRecord` per state change.  What each kind means,
+in terms of the invariants above:
+
+* ``calendar.activate`` — a transfer joined the in-flight set (it becomes
+  part of the next flush's arrival delta); payload carries ``src``/``dst``/
+  ``size``.
+* ``calendar.complete`` — a due heap entry surfaced with negligible
+  remaining bytes and the transfer left the calendar (it joins the next
+  flush's departure delta).
+* ``calendar.cancel`` — a transfer was removed *before* completing (injector
+  deactivation); ``remaining`` is the un-transferred byte count at the
+  cancel instant.
+* ``calendar.retime`` — a rate-*value* change (or fp-drift re-pop) bumped a
+  flight's epoch and pushed a fresh completion entry; payload carries the
+  new ``rate``, ``remaining`` bytes and predicted ``completion``.  The
+  superseded entry dies lazily.
+* ``calendar.flush`` — one provider query (delta or full): ``added``/
+  ``removed`` are the delta sizes, ``changed`` how many rates came back,
+  ``active`` the in-flight count — the per-step work the scale benchmark
+  tracks.
+* ``calendar.reprice`` — a forced full re-rate (provider ``reset()`` +
+  re-add), the injector hook for capacity changes outside the delta
+  contract.
+* ``calendar.compaction`` — the lazy-deletion heap was rebuilt in place
+  because stale entries held the majority; ``dropped``/``kept`` count the
+  entries discarded/retained.
+* ``calendar.stall`` — a flight's applied rate dropped to ``<= 0``; it has
+  no heap entry and sits in the stalled set until re-rated.
+* ``calendar.stall_retry`` — stalled flights were forced back through the
+  delta API (departure+arrival cycle); ``ids`` names them.
+
+With ``trace=None`` (or a disabled sink) no record is ever constructed and
+every code path is bit-exact with the untraced calendar — property-tested
+in ``tests/property/test_trace_properties.py``.
 """
 
 from __future__ import annotations
@@ -130,6 +169,8 @@ from typing import (
 )
 
 from ..exceptions import SimulationError
+from ..trace.records import SnapshotBase, TraceRecord, emit_inject_apply
+from ..trace.sinks import TraceSink, active_sink
 
 __all__ = [
     "Transfer",
@@ -137,6 +178,7 @@ __all__ = [
     "RateProvider",
     "DeltaRateProvider",
     "CalendarStats",
+    "CalendarStatsSnapshot",
     "TransferCalendar",
     "RateScaleRegistry",
     "FluidTransferSimulator",
@@ -201,6 +243,28 @@ class DeltaRateProvider(RateProvider, Protocol):
         ...  # pragma: no cover - protocol
 
 
+@dataclass(frozen=True)
+class CalendarStatsSnapshot(SnapshotBase):
+    """Immutable, typed view of one calendar's work counters.
+
+    Replaces the raw dicts the calendar used to hand out; dict-style access
+    (``snapshot["rate_updates"]``, ``**snapshot``) still works through
+    :class:`~repro.trace.SnapshotBase`, and :meth:`~repro.trace.SnapshotBase.
+    as_dict` returns exactly the historical flat shape.
+    """
+
+    flushes: int = 0
+    rate_updates: int = 0
+    retimed: int = 0
+    activations: int = 0
+    completions: int = 0
+    stale_entries: int = 0
+    active_at_flush: int = 0
+    compactions: int = 0
+    cancelled: int = 0
+    stall_retries: int = 0
+
+
 @dataclass
 class CalendarStats:
     """Work counters of one :class:`TransferCalendar` (benchmark instrumentation)."""
@@ -227,19 +291,24 @@ class CalendarStats:
     #: forced re-rates of zero-rated flights through the delta API
     stall_retries: int = 0
 
+    def freeze(self) -> CalendarStatsSnapshot:
+        """Typed immutable snapshot of the current counter values."""
+        return CalendarStatsSnapshot(
+            flushes=self.flushes,
+            rate_updates=self.rate_updates,
+            retimed=self.retimed,
+            activations=self.activations,
+            completions=self.completions,
+            stale_entries=self.stale_entries,
+            active_at_flush=self.active_at_flush,
+            compactions=self.compactions,
+            cancelled=self.cancelled,
+            stall_retries=self.stall_retries,
+        )
+
     def snapshot(self) -> Dict[str, int]:
-        return {
-            "flushes": self.flushes,
-            "rate_updates": self.rate_updates,
-            "retimed": self.retimed,
-            "activations": self.activations,
-            "completions": self.completions,
-            "stale_entries": self.stale_entries,
-            "active_at_flush": self.active_at_flush,
-            "compactions": self.compactions,
-            "cancelled": self.cancelled,
-            "stall_retries": self.stall_retries,
-        }
+        """Flat dict view (compatibility shim over :meth:`freeze`)."""
+        return self.freeze().as_dict()
 
 
 class _Flight:
@@ -281,6 +350,11 @@ class TransferCalendar:
         What to do when the provider returns no rate for a live transfer:
         ``"error"`` raises (the fluid simulator's historical behaviour),
         ``"zero"`` treats it as a zero rate (the execution engine's).
+    trace:
+        Optional :class:`repro.trace.TraceSink`; when attached the calendar
+        emits one ``calendar.*`` record per state change (see the module
+        docstring).  ``None`` or a disabled sink costs one pointer test per
+        site — the untraced paths are bit-exact.
     """
 
     EPSILON = 1e-12
@@ -293,6 +367,7 @@ class TransferCalendar:
         rate_provider: RateProvider,
         delta: Optional[bool] = None,
         missing_rate: str = "error",
+        trace: Optional[TraceSink] = None,
     ) -> None:
         if missing_rate not in ("error", "zero"):
             raise SimulationError(f"unknown missing_rate policy {missing_rate!r}")
@@ -304,6 +379,7 @@ class TransferCalendar:
         self.provider = rate_provider
         self.delta = has_update if delta is None else bool(delta)
         self.missing_rate = missing_rate
+        self._trace = active_sink(trace)
         self.stats = CalendarStats()
         self._flights: Dict[Hashable, _Flight] = {}
         self._heap: List[Tuple[float, int, Hashable, int]] = []
@@ -352,6 +428,10 @@ class TransferCalendar:
         self._flights[tid] = _Flight(transfer, float(transfer.size), now)
         self._pending_added[tid] = transfer
         self.stats.activations += 1
+        if self._trace is not None:
+            self._trace.emit(TraceRecord(now, "calendar.activate", tid, {
+                "src": transfer.src, "dst": transfer.dst, "size": transfer.size,
+            }))
 
     def cancel(self, tid: Hashable, now: float) -> Transfer:
         """Remove an in-flight transfer without completing it.
@@ -371,6 +451,10 @@ class TransferCalendar:
             self._pending_removed.append(tid)
         self._stalled.pop(tid, None)
         self.stats.cancelled += 1
+        if self._trace is not None:
+            self._trace.emit(TraceRecord(now, "calendar.cancel", tid, {
+                "remaining": flight.remaining,
+            }))
         return flight.transfer
 
     def set_rate_scale(self, scale: Optional[Callable[[Transfer], float]]) -> None:
@@ -396,9 +480,14 @@ class TransferCalendar:
             completion = now + flight.remaining / flight.rate
             heapq.heappush(self._heap, (completion, next(self._seq), tid, flight.epoch))
             self.stats.retimed += 1
-            self._maybe_compact()
+            if self._trace is not None:
+                self._trace.emit(TraceRecord(now, "calendar.retime", tid, {
+                    "rate": flight.rate, "remaining": flight.remaining,
+                    "completion": completion,
+                }))
+            self._maybe_compact(now)
 
-    def _maybe_compact(self) -> None:
+    def _maybe_compact(self, now: float) -> None:
         # every flight owns at most one live entry, so heap > 2*flights means
         # the stale entries hold the majority: rebuild in place (amortized
         # O(1) per push — the heap must double through pushes to re-trigger)
@@ -412,8 +501,13 @@ class TransferCalendar:
                 live.append(entry)
         self.stats.stale_entries += len(self._heap) - len(live)
         heapq.heapify(live)
+        dropped = len(self._heap) - len(live)
         self._heap = live
         self.stats.compactions += 1
+        if self._trace is not None:
+            self._trace.emit(TraceRecord(now, "calendar.compaction", None, {
+                "dropped": dropped, "kept": len(live),
+            }))
 
     def flush(self, now: float) -> None:
         """Push the pending flow delta to the provider and apply changed rates.
@@ -429,6 +523,8 @@ class TransferCalendar:
                 if self._stalled:
                     self._retry_stalled(now)
                 return
+            added_count = len(self._pending_added)
+            removed_count = len(self._pending_removed)
             added = list(self._pending_added.values())
             removed = list(self._pending_removed)
             changed: Mapping[Hashable, float] = self.provider.update(added, removed)
@@ -439,6 +535,8 @@ class TransferCalendar:
                 self._pending_added.clear()
                 self._pending_removed.clear()
                 return
+            added_count = len(self._pending_added)
+            removed_count = len(self._pending_removed)
             changed = self.provider.rates(
                 [flight.transfer for flight in self._flights.values()]
             )
@@ -447,6 +545,11 @@ class TransferCalendar:
         self.stats.flushes += 1
         self.stats.rate_updates += len(changed)
         self.stats.active_at_flush += len(self._flights)
+        if self._trace is not None:
+            self._trace.emit(TraceRecord(now, "calendar.flush", None, {
+                "added": added_count, "removed": removed_count,
+                "changed": len(changed), "active": len(self._flights),
+            }))
         self._apply_changed(changed, now)
         if self.delta and self._stalled:
             self._retry_stalled(now)
@@ -490,6 +593,10 @@ class TransferCalendar:
         changed = self.provider.update(transfers, list(retry))
         self.stats.stall_retries += len(retry)
         self.stats.rate_updates += len(changed)
+        if self._trace is not None:
+            self._trace.emit(TraceRecord(now, "calendar.stall_retry", None, {
+                "ids": [str(tid) for tid in retry],
+            }))
         self._apply_changed(changed, now)
 
     def reprice(self, now: float) -> None:
@@ -518,6 +625,10 @@ class TransferCalendar:
         self.stats.flushes += 1
         self.stats.rate_updates += len(changed)
         self.stats.active_at_flush += len(self._flights)
+        if self._trace is not None:
+            self._trace.emit(TraceRecord(now, "calendar.reprice", None, {
+                "active": len(self._flights), "changed": len(changed),
+            }))
         self._apply_changed(changed, now)
 
     def _apply_rate(self, tid: Hashable, flight: _Flight, rate: float,
@@ -525,6 +636,9 @@ class TransferCalendar:
         if self._rate_scale is not None:
             rate = rate * self._rate_scale(flight.transfer)
         if rate <= 0.0:
+            if self._trace is not None and tid not in self._stalled:
+                self._trace.emit(TraceRecord(now, "calendar.stall", tid,
+                                             {"rate": rate}))
             self._stalled[tid] = None
         else:
             self._stalled.pop(tid, None)
@@ -568,6 +682,8 @@ class TransferCalendar:
             self._pending_removed.append(tid)
             done.append(flight.transfer)
             self.stats.completions += 1
+            if self._trace is not None:
+                self._trace.emit(TraceRecord(now, "calendar.complete", tid, {}))
         return done
 
 
@@ -618,7 +734,8 @@ class _FluidInjectionState:
     because nothing computes here.
     """
 
-    def __init__(self, calendar: TransferCalendar, hosts: Tuple[int, ...]) -> None:
+    def __init__(self, calendar: TransferCalendar, hosts: Tuple[int, ...],
+                 trace: Optional[TraceSink] = None) -> None:
         self.now = 0.0
         self.hosts = hosts
         self.background: set = set()
@@ -628,11 +745,16 @@ class _FluidInjectionState:
         self._calendar = calendar
         self._flow_seq = itertools.count()
         self._rate_scales = RateScaleRegistry(calendar)
+        self._trace = active_sink(trace)
 
     # ------------------------------------------------------------- flows
     def start_flow(self, src: int, dst: int, size: float,
                    owner: str = "background") -> Hashable:
         tid = f"{owner}#{next(self._flow_seq)}"
+        if self._trace is not None:
+            self._trace.emit(TraceRecord(self.now, "inject.flow_start", tid, {
+                "src": src, "dst": dst, "size": float(size), "owner": owner,
+            }))
         transfer = Transfer(transfer_id=tid, src=src, dst=dst, size=float(size),
                             start_time=self.now)
         self._calendar.activate(transfer, self.now)
@@ -642,23 +764,35 @@ class _FluidInjectionState:
 
     def end_flow(self, tid: Hashable) -> None:
         if tid in self.background and self._calendar.is_active(tid):
+            if self._trace is not None:
+                self._trace.emit(TraceRecord(self.now, "inject.flow_end", tid, {}))
             self._calendar.cancel(tid, self.now)
         self.background.discard(tid)
 
     # ------------------------------------------------------------- scaling
-    def add_rate_scale(self, scale: Callable[[Transfer], float]) -> int:
-        return self._rate_scales.add(scale)
+    def add_rate_scale(self, scale: Callable[[Transfer], float],
+                       info: Optional[Dict] = None) -> int:
+        handle = self._rate_scales.add(scale)
+        if self._trace is not None:
+            self._trace.emit(TraceRecord(self.now, "inject.rate_scale_on",
+                                         handle, dict(info or {})))
+        return handle
 
     def remove_rate_scale(self, handle: Optional[int]) -> None:
+        if self._trace is not None and handle is not None:
+            self._trace.emit(TraceRecord(self.now, "inject.rate_scale_off",
+                                         handle, {}))
         self._rate_scales.remove(handle)
 
-    def add_compute_scale(self, scale) -> Optional[int]:
+    def add_compute_scale(self, scale, info: Optional[Dict] = None) -> Optional[int]:
         return None  # nothing computes in a pure transfer simulation
 
     def remove_compute_scale(self, handle) -> None:
         pass
 
     def reprice(self) -> None:
+        if self._trace is not None:
+            self._trace.emit(TraceRecord(self.now, "inject.reprice", None, {}))
         self._calendar.reprice(self.now)
 
 
@@ -683,6 +817,11 @@ class FluidTransferSimulator:
         excluded from the returned completion records, and the run ends when
         the last *foreground* transfer completes.  With an empty sequence
         the loop is bit-exact with the injector-free simulator.
+    trace:
+        Optional :class:`repro.trace.TraceSink`; the calendar emits its
+        ``calendar.*`` records through it, the loop adds ``step`` boundaries
+        and ``inject.*`` events.  ``None`` (or a disabled sink) is the
+        bit-exact untraced path.
     """
 
     #: bytes below which a transfer is considered finished (numerical guard)
@@ -690,15 +829,17 @@ class FluidTransferSimulator:
 
     def __init__(self, rate_provider: RateProvider, latency: float = 0.0,
                  delta: Optional[bool] = None,
-                 injectors: Sequence = ()) -> None:
+                 injectors: Sequence = (),
+                 trace: Optional[TraceSink] = None) -> None:
         if latency < 0:
             raise SimulationError(f"latency must be non-negative, got {latency}")
         self.rate_provider = rate_provider
         self.latency = latency
         self.delta = delta
         self.injectors = tuple(injectors)
+        self.trace = active_sink(trace)
         #: calendar work counters of the most recent :meth:`run`
-        self.last_calendar_stats: Optional[Dict[str, int]] = None
+        self.last_calendar_stats: Optional[CalendarStatsSnapshot] = None
 
     # ------------------------------------------------------------------- run
     def run(self, transfers: Sequence[Transfer]) -> Dict[Hashable, TransferResult]:
@@ -712,14 +853,15 @@ class FluidTransferSimulator:
         reset = getattr(self.rate_provider, "reset", None)
         if callable(reset):
             reset()
+        trace = self.trace
         calendar = TransferCalendar(self.rate_provider, delta=self.delta,
-                                    missing_rate="error")
+                                    missing_rate="error", trace=trace)
 
         state: Optional[_FluidInjectionState] = None
         inject_heap: List[Tuple[float, int]] = []
         if self.injectors:
             hosts = tuple(sorted({h for t in transfers for h in (t.src, t.dst)}))
-            state = _FluidInjectionState(calendar, hosts)
+            state = _FluidInjectionState(calendar, hosts, trace=trace)
             for index, injector in enumerate(self.injectors):
                 injector.reset()
                 when = injector.next_event(0.0)
@@ -735,6 +877,7 @@ class FluidTransferSimulator:
         results: Dict[Hashable, TransferResult] = {}
         now = 0.0
         guard = 0
+        steps = 0
 
         def foreground_active() -> int:
             background = len(state.background) if state is not None else 0
@@ -763,6 +906,8 @@ class FluidTransferSimulator:
                 _, index = heapq.heappop(inject_heap)
                 injector = self.injectors[index]
                 state.now = now
+                if trace is not None:
+                    emit_inject_apply(trace, now, injector, index)
                 injector.apply(state)
                 state.fired += 1
                 when = injector.next_event(now)
@@ -777,6 +922,9 @@ class FluidTransferSimulator:
                 if not targets:
                     break
                 now = max(now, min(targets))
+                if trace is not None:
+                    steps += 1
+                    trace.emit(TraceRecord(now, "step", "fluid", {"step": steps}))
                 continue
 
             calendar.flush(now)
@@ -796,6 +944,9 @@ class FluidTransferSimulator:
             horizon = min(math.inf if next_completion is None else next_completion,
                           next_start, next_inject)
             now = max(now, horizon)
+            if trace is not None:
+                steps += 1
+                trace.emit(TraceRecord(now, "step", "fluid", {"step": steps}))
 
             for transfer in calendar.pop_due(now):
                 if state is not None and transfer.transfer_id in state.background:
@@ -805,7 +956,7 @@ class FluidTransferSimulator:
                     transfer.transfer_id, transfer.start_time, now
                 )
 
-        self.last_calendar_stats = calendar.stats.snapshot()
+        self.last_calendar_stats = calendar.stats.freeze()
         return results
 
     # ------------------------------------------------------------ conveniences

@@ -7,7 +7,7 @@ emulator (measurement).
 """
 
 from .application import Application, TaskTrace
-from .engine import EngineConfig, ExecutionEngine
+from .engine import EngineConfig, EngineStatsSnapshot, ExecutionEngine
 from .events import ANY_SOURCE, BarrierEvent, ComputeEvent, Event, RecvEvent, SendEvent
 from .interference import (
     BackgroundTrafficInjector,
@@ -25,6 +25,7 @@ __all__ = [
     "Application",
     "TaskTrace",
     "EngineConfig",
+    "EngineStatsSnapshot",
     "ExecutionEngine",
     "Injector",
     "BackgroundTrafficInjector",

@@ -47,6 +47,12 @@ report; compute-rate and link-capacity scaling windows are applied through
 the injection state (``_EngineInjectionState``).  With no injectors
 configured every code path is bit-exact with the pre-injection engine
 (property-tested in ``tests/property/test_interference_properties.py``).
+
+Tracing: :attr:`EngineConfig.trace` attaches a :mod:`repro.trace` sink; the
+engine emits ``step`` boundaries, ``task.state`` / ``task.event`` records and
+``inject.*`` events, and hands the sink to its calendar for the
+``calendar.*`` stream.  ``trace=None`` (the default) is bit-exact with the
+untraced engine (``tests/property/test_trace_properties.py``).
 """
 
 from __future__ import annotations
@@ -60,14 +66,26 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Un
 
 from ..cluster.placement import Placement
 from ..exceptions import DeadlockError, SimulationError, TraceError
-from ..network.fluid import RateScaleRegistry, Transfer, TransferCalendar
+from ..network.fluid import (
+    CalendarStatsSnapshot,
+    RateScaleRegistry,
+    Transfer,
+    TransferCalendar,
+)
 from ..network.technologies import NetworkTechnology, get_technology
+from ..trace.records import SnapshotBase, TraceRecord, emit_inject_apply
+from ..trace.sinks import TraceSink, active_sink
 from ..units import KiB
 from .application import Application
 from .events import ANY_SOURCE, BarrierEvent, ComputeEvent, Event, RecvEvent, SendEvent
 from .report import EventRecord, SimulationReport
 
-__all__ = ["EngineConfig", "EngineLoopStats", "ExecutionEngine"]
+__all__ = [
+    "EngineConfig",
+    "EngineLoopStats",
+    "EngineStatsSnapshot",
+    "ExecutionEngine",
+]
 
 
 @dataclass(frozen=True)
@@ -89,6 +107,10 @@ class EngineConfig:
     #: interference injectors (:mod:`repro.simulator.interference`) whose
     #: events ride the timeline heap; empty = bit-exact clean-fabric run
     injectors: Tuple = ()
+    #: optional :class:`repro.trace.TraceSink` the engine (and its calendar)
+    #: emits structured per-event records through; ``None`` = untraced,
+    #: bit-exact with the pre-trace engine
+    trace: Optional[TraceSink] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.eager_threshold < 0:
@@ -98,6 +120,25 @@ class EngineConfig:
         if self.default_flops_per_core <= 0:
             raise SimulationError("default_flops_per_core must be positive")
         object.__setattr__(self, "injectors", tuple(self.injectors))
+
+
+@dataclass(frozen=True)
+class EngineStatsSnapshot(SnapshotBase):
+    """Immutable, typed view of one engine run's loop + calendar counters.
+
+    Replaces the untyped ``last_engine_stats`` dict.  The embedded
+    :class:`~repro.network.fluid.CalendarStatsSnapshot` is merged into the
+    flat dict view (``snapshot["rate_updates"]`` and
+    :meth:`~repro.trace.SnapshotBase.as_dict` keep the historical shape),
+    so loop stats, calendar stats and trace summaries share one counter
+    vocabulary.
+    """
+
+    iterations: int = 0
+    steps: int = 0
+    injected_events: int = 0
+    background_flows: int = 0
+    calendar: CalendarStatsSnapshot = field(default_factory=CalendarStatsSnapshot)
 
 
 @dataclass
@@ -115,15 +156,19 @@ class EngineLoopStats:
     #: calendar counters (rate_updates, retimed, stale_entries, ...) of the run
     calendar: Dict[str, int] = field(default_factory=dict)
 
+    def freeze(self) -> EngineStatsSnapshot:
+        """Typed immutable snapshot (the :attr:`Simulator.last_engine_stats` type)."""
+        return EngineStatsSnapshot(
+            iterations=self.iterations,
+            steps=self.steps,
+            injected_events=self.injected_events,
+            background_flows=self.background_flows,
+            calendar=CalendarStatsSnapshot(**self.calendar),
+        )
+
     def snapshot(self) -> Dict[str, int]:
-        merged = {
-            "iterations": self.iterations,
-            "steps": self.steps,
-            "injected_events": self.injected_events,
-            "background_flows": self.background_flows,
-        }
-        merged.update(self.calendar)
-        return merged
+        """Flat dict view (compatibility shim over :meth:`freeze`)."""
+        return self.freeze().as_dict()
 
 
 class _Status(Enum):
@@ -309,6 +354,10 @@ class _EngineInjectionState:
                    owner: str = "background") -> int:
         engine = self._engine
         tid = f"{owner}#{next(self._flow_seq)}"
+        if engine._trace is not None:
+            engine._trace.emit(TraceRecord(engine.now, "inject.flow_start", tid, {
+                "src": src, "dst": dst, "size": float(size), "owner": owner,
+            }))
         transfer = Transfer(transfer_id=tid, src=src, dst=dst, size=float(size),
                             start_time=engine.now)
         engine._calendar.activate(transfer, engine.now)
@@ -319,26 +368,49 @@ class _EngineInjectionState:
     def end_flow(self, tid) -> None:
         engine = self._engine
         if tid in engine._background and engine._calendar.is_active(tid):
+            if engine._trace is not None:
+                engine._trace.emit(
+                    TraceRecord(engine.now, "inject.flow_end", tid, {})
+                )
             engine._calendar.cancel(tid, engine.now)
         engine._background.pop(tid, None)
 
     # ------------------------------------------------------------- scaling
-    def add_rate_scale(self, scale) -> int:
-        return self._rate_scales.add(scale)
+    def add_rate_scale(self, scale, info=None) -> int:
+        handle = self._rate_scales.add(scale)
+        engine = self._engine
+        if engine._trace is not None:
+            engine._trace.emit(TraceRecord(engine.now, "inject.rate_scale_on",
+                                           handle, dict(info or {})))
+        return handle
 
     def remove_rate_scale(self, handle) -> None:
+        engine = self._engine
+        if engine._trace is not None and handle is not None:
+            engine._trace.emit(TraceRecord(engine.now, "inject.rate_scale_off",
+                                           handle, {}))
         self._rate_scales.remove(handle)
 
-    def add_compute_scale(self, scale) -> int:
+    def add_compute_scale(self, scale, info=None) -> int:
         handle = next(self._scale_seq)
-        self._engine._compute_scales[handle] = scale
+        engine = self._engine
+        if engine._trace is not None:
+            engine._trace.emit(TraceRecord(engine.now, "inject.compute_scale_on",
+                                           handle, dict(info or {})))
+        engine._compute_scales[handle] = scale
         return handle
 
     def remove_compute_scale(self, handle) -> None:
-        self._engine._compute_scales.pop(handle, None)
+        engine = self._engine
+        if engine._trace is not None and handle is not None:
+            engine._trace.emit(TraceRecord(engine.now, "inject.compute_scale_off",
+                                           handle, {}))
+        engine._compute_scales.pop(handle, None)
 
     def reprice(self) -> None:
         engine = self._engine
+        if engine._trace is not None:
+            engine._trace.emit(TraceRecord(engine.now, "inject.reprice", None, {}))
         engine._calendar.reprice(engine.now)
 
 
@@ -402,6 +474,7 @@ class ExecutionEngine:
         self._timeline: List[Tuple[float, int, int, int]] = []
         self._timeline_seq = itertools.count()
         self._calendar: Optional[TransferCalendar] = None
+        self._trace = active_sink(self.config.trace)
         self.stats = EngineLoopStats()
 
     # -------------------------------------------------------------- utilities
@@ -454,11 +527,19 @@ class ExecutionEngine:
     def _finish_task(self, task: _TaskState) -> None:
         task.status = _Status.DONE
         task.finish_time = self.now
+        if self._trace is not None:
+            self._trace.emit(TraceRecord(self.now, "task.state", task.rank,
+                                         {"status": "done"}))
 
     # ------------------------------------------------------------ event start
     def _start_event(self, task: _TaskState, event: Event) -> None:
         task.current_event = event
         task.current_start = self.now
+        if self._trace is not None:
+            self._trace.emit(TraceRecord(self.now, "task.state", task.rank, {
+                "status": type(event).__name__.replace("Event", "").lower(),
+                "label": getattr(event, "label", ""),
+            }))
         if isinstance(event, ComputeEvent):
             duration = self._compute_duration(event)
             if self._compute_scales:
@@ -569,6 +650,12 @@ class ExecutionEngine:
             rank=rank, index=task.event_index, kind=kind, start=start, end=end,
             size=size, peer=peer, label=label, penalty=penalty,
         ))
+        if self._trace is not None:
+            self._trace.emit(TraceRecord(end, "task.event", rank, {
+                "kind": kind, "start": start, "end": end, "size": size,
+                "peer": peer, "label": label, "penalty": penalty,
+                "index": task.event_index,
+            }))
         task.event_index += 1
 
     def _complete_send(self, send: _SendRequest, completion: float) -> None:
@@ -721,6 +808,8 @@ class ExecutionEngine:
 
         for index in inject_indices:
             injector = self.config.injectors[index]
+            if self._trace is not None:
+                emit_inject_apply(self._trace, self.now, injector, index)
             injector.apply(self._injection_state)
             self.stats.injected_events += 1
             when = injector.next_event(self.now)
@@ -761,6 +850,7 @@ class ExecutionEngine:
             self.rate_provider,
             delta=None if self.config.delta_rates else False,
             missing_rate="zero",
+            trace=self._trace,
         )
         self._background.clear()
         self._compute_scales.clear()
@@ -780,6 +870,8 @@ class ExecutionEngine:
             while self._timeline and self._timeline[0][0] <= self.EPSILON:
                 _, _, _, index = heapq.heappop(self._timeline)
                 injector = self.config.injectors[index]
+                if self._trace is not None:
+                    emit_inject_apply(self._trace, self.now, injector, index)
                 injector.apply(self._injection_state)
                 self.stats.injected_events += 1
                 when = injector.next_event(0.0)
@@ -815,6 +907,9 @@ class ExecutionEngine:
 
             self.now = max(self._next_horizon(), self.now)
             self.stats.steps += 1
+            if self._trace is not None:
+                self._trace.emit(TraceRecord(self.now, "step", "engine",
+                                             {"step": self.stats.steps}))
             self._complete_due_events()
 
         self.stats.calendar = self._calendar.stats.snapshot()

@@ -39,12 +39,18 @@ expose (``_EngineInjectionState`` in :mod:`repro.simulator.engine`,
   calendar like foreground ones (they contend in the rate provider — model
   or emulator) but are excluded from task completion, message matching and
   the returned results;
-* ``state.add_rate_scale(fn)`` / ``state.remove_rate_scale(handle)`` —
-  install a per-transfer rate multiplier (capacity degradation).  Every
-  change must be followed by ``state.reprice()``;
-* ``state.add_compute_scale(fn)`` / ``state.remove_compute_scale(handle)`` —
-  install a per-node compute-rate multiplier, applied to compute events that
-  *start* while the scale is active (a no-op in the pure fluid simulator);
+* ``state.add_rate_scale(fn, info=None)`` / ``state.remove_rate_scale(handle)``
+  — install a per-transfer rate multiplier (capacity degradation).  Every
+  change must be followed by ``state.reprice()``.  ``info`` is the scale's
+  replay payload (``{"factor": ..., "hosts": ...}``): the injection state
+  records it in the trace (``inject.rate_scale_on``) so
+  :class:`repro.trace.TraceReplayInjector` can rebuild the window via
+  :func:`make_rate_scale`;
+* ``state.add_compute_scale(fn, info=None)`` /
+  ``state.remove_compute_scale(handle)`` — install a per-node compute-rate
+  multiplier, applied to compute events that *start* while the scale is
+  active (a no-op in the pure fluid simulator); ``info`` as above, rebuilt
+  via :func:`make_compute_scale`;
 * ``state.reprice()`` — force a full re-rate of the in-flight set through
   ``provider.reset()`` + re-add, for effects the delta contract cannot
   express.
@@ -70,7 +76,52 @@ __all__ = [
     "NodeSlowdownInjector",
     "build_injectors",
     "compose_rate_scales",
+    "make_rate_scale",
+    "make_compute_scale",
 ]
+
+
+def make_rate_scale(
+    factor: float, hosts: Optional[Sequence[int]] = None
+) -> Callable[[Transfer], float]:
+    """Per-transfer rate multiplier: ``factor`` on transfers touching ``hosts``.
+
+    ``hosts=None`` scales every transfer.  This is the closure shape
+    :class:`LinkDegradationInjector` installs; it is shared with
+    :class:`repro.trace.TraceReplayInjector`, which rebuilds recorded
+    windows from their ``{factor, hosts}`` trace payload.
+    """
+    factor = float(factor)
+    if hosts is None:
+        def scale(transfer: Transfer) -> float:
+            return factor
+    else:
+        degraded = frozenset(int(h) for h in hosts)
+
+        def scale(transfer: Transfer) -> float:
+            if transfer.src in degraded or transfer.dst in degraded:
+                return factor
+            return 1.0
+
+    return scale
+
+
+def make_compute_scale(
+    factor: float, hosts: Optional[Sequence[int]] = None
+) -> Callable[[int], float]:
+    """Per-node compute-rate multiplier (the :class:`NodeSlowdownInjector`
+    closure shape, shared with trace replay)."""
+    factor = float(factor)
+    if hosts is None:
+        def scale(node: int) -> float:
+            return factor
+    else:
+        affected = frozenset(int(h) for h in hosts)
+
+        def scale(node: int) -> float:
+            return factor if node in affected else 1.0
+
+    return scale
 
 
 def compose_rate_scales(
@@ -109,13 +160,13 @@ class InjectionState(Protocol):
     def end_flow(self, tid: Hashable) -> None: ...  # pragma: no cover
 
     def add_rate_scale(
-        self, scale: Callable[[Transfer], float]
+        self, scale: Callable[[Transfer], float], info: Optional[dict] = None
     ) -> Optional[int]: ...  # pragma: no cover
 
     def remove_rate_scale(self, handle: Optional[int]) -> None: ...  # pragma: no cover
 
     def add_compute_scale(
-        self, scale: Callable[[int], float]
+        self, scale: Callable[[int], float], info: Optional[dict] = None
     ) -> Optional[int]: ...  # pragma: no cover
 
     def remove_compute_scale(self, handle: Optional[int]) -> None: ...  # pragma: no cover
@@ -370,20 +421,11 @@ class LinkDegradationInjector(_WindowInjector):
         super().__init__(name, factor, start=start, until=until, hosts=hosts)
 
     def _install(self, state: InjectionState) -> Optional[int]:
-        factor = self.factor
-
-        if self.hosts is None:
-            def scale(transfer: Transfer) -> float:
-                return factor
-        else:
-            degraded = self.hosts
-
-            def scale(transfer: Transfer) -> float:
-                if transfer.src in degraded or transfer.dst in degraded:
-                    return factor
-                return 1.0
-
-        handle = state.add_rate_scale(scale)
+        hosts = None if self.hosts is None else sorted(self.hosts)
+        handle = state.add_rate_scale(
+            make_rate_scale(self.factor, hosts),
+            info={"factor": self.factor, "hosts": hosts},
+        )
         state.reprice()
         return handle
 
@@ -409,13 +451,11 @@ class NodeSlowdownInjector(_WindowInjector):
         super().__init__(name, factor, start=start, until=until, hosts=hosts)
 
     def _install(self, state: InjectionState) -> Optional[int]:
-        factor = self.factor
-        applies = self._applies_to
-
-        def scale(node: int) -> float:
-            return factor if applies(node) else 1.0
-
-        return state.add_compute_scale(scale)
+        hosts = None if self.hosts is None else sorted(self.hosts)
+        return state.add_compute_scale(
+            make_compute_scale(self.factor, hosts),
+            info={"factor": self.factor, "hosts": hosts},
+        )
 
     def _remove(self, state: InjectionState, handle: Optional[int]) -> None:
         state.remove_compute_scale(handle)

@@ -70,15 +70,17 @@ class SimulationReport:
 
         This matches the paper's measurement methodology: "Measured time is
         done at the source task, starting before the MPI send and ending when
-        the MPI send method terminates."
+        the MPI send method terminates."  A rank with no send records (or a
+        rank outside the task range) contributes ``0.0`` — a float, so the
+        no-communication case aggregates like every other.
         """
-        return sum(r.duration for r in self.records_for(rank, "send"))
+        return sum((r.duration for r in self.records_for(rank, "send")), 0.0)
 
     def receive_time(self, rank: int) -> float:
-        return sum(r.duration for r in self.records_for(rank, "recv"))
+        return sum((r.duration for r in self.records_for(rank, "recv")), 0.0)
 
     def compute_time(self, rank: int) -> float:
-        return sum(r.duration for r in self.records_for(rank, "compute"))
+        return sum((r.duration for r in self.records_for(rank, "compute")), 0.0)
 
     def communication_times(self) -> Dict[int, float]:
         """Per-task sum of send durations (the S_m / S_p quantities of §VI.B)."""
@@ -105,7 +107,17 @@ class SimulationReport:
         return float(max(penalties)) if penalties else 1.0
 
     def penalty_histogram(self, bins: int = 10) -> Tuple[np.ndarray, np.ndarray]:
-        """Histogram (counts, bin edges) of observed send penalties."""
+        """Histogram (counts, bin edges) of observed send penalties.
+
+        With no penalised sends (empty report, compute-only workload, or a
+        trace-backed record set without penalties) the counts are all zero
+        over a nominal ``[1.0, 2.0]`` range — ``bins + 1`` edges either way,
+        so downstream plotting never special-cases the empty report.
+        ``bins`` must be at least 1 (validated here so the empty path and
+        the numpy path reject it identically).
+        """
+        if bins < 1:
+            raise ValueError(f"bins must be >= 1, got {bins}")
         penalties = np.array(
             [r.penalty for r in self.send_records if r.penalty is not None], dtype=float
         )

@@ -22,7 +22,7 @@ the quantity ``benchmarks/bench_scale_engine.py`` tracks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Optional, Sequence, Union
 
 from ..cluster.placement import Placement, make_placement
@@ -33,8 +33,9 @@ from ..exceptions import SimulationError
 from ..network.allocator import EmulatorRateProvider
 from ..network.technologies import NetworkTechnology, get_technology
 from ..network.topology import CrossbarTopology
+from ..trace.sinks import TraceSink
 from .application import Application
-from .engine import EngineConfig, ExecutionEngine
+from .engine import EngineConfig, EngineStatsSnapshot, ExecutionEngine
 from .providers import ModelRateProvider
 from .report import SimulationReport
 
@@ -42,7 +43,13 @@ __all__ = ["Simulator"]
 
 
 class Simulator:
-    """Runs an application on a cluster under a rate provider."""
+    """Runs an application on a cluster under a rate provider.
+
+    ``trace`` attaches a :class:`repro.trace.TraceSink` to the engine
+    (equivalent to building the :class:`EngineConfig` with ``trace=``); the
+    same structured record stream covers the calendar, the engine loop and
+    any configured injectors.
+    """
 
     def __init__(
         self,
@@ -52,6 +59,7 @@ class Simulator:
         config: EngineConfig | None = None,
         mode: str = "custom",
         model_name: str = "custom",
+        trace: Optional[TraceSink] = None,
     ) -> None:
         if isinstance(cluster, str):
             cluster = get_cluster(cluster)
@@ -59,10 +67,14 @@ class Simulator:
         self.technology = technology or cluster.technology
         self.rate_provider = rate_provider
         self.config = config or EngineConfig()
+        if trace is not None:
+            self.config = replace(self.config, trace=trace)
         self.mode = mode
         self.model_name = model_name
-        #: loop/calendar work counters of the most recent run (see EngineLoopStats)
-        self.last_engine_stats: Optional[dict] = None
+        #: loop/calendar work counters of the most recent run — a typed
+        #: :class:`~repro.simulator.engine.EngineStatsSnapshot` (dict-style
+        #: access still works)
+        self.last_engine_stats: Optional[EngineStatsSnapshot] = None
 
     # ------------------------------------------------------------ constructors
     @classmethod
@@ -71,6 +83,7 @@ class Simulator:
         cluster: ClusterSpec | str,
         model: ContentionModel | str | None = None,
         config: EngineConfig | None = None,
+        trace: Optional[TraceSink] = None,
     ) -> "Simulator":
         """Simulator driven by a contention model (the paper's predictor).
 
@@ -86,13 +99,14 @@ class Simulator:
             model = model_for_network(model)
         provider = ModelRateProvider(model, cluster.technology)
         return cls(cluster, provider, technology=cluster.technology, config=config,
-                   mode="predictive", model_name=model.name)
+                   mode="predictive", model_name=model.name, trace=trace)
 
     @classmethod
     def emulated(
         cls,
         cluster: ClusterSpec | str,
         config: EngineConfig | None = None,
+        trace: Optional[TraceSink] = None,
     ) -> "Simulator":
         """Simulator driven by the calibrated cluster emulator ("measured" side)."""
         if isinstance(cluster, str):
@@ -100,7 +114,8 @@ class Simulator:
         topology = CrossbarTopology(num_hosts=cluster.num_nodes, technology=cluster.technology)
         provider = EmulatorRateProvider(cluster.technology, topology)
         return cls(cluster, provider, technology=cluster.technology, config=config,
-                   mode="emulated", model_name=f"emulator[{cluster.technology.name}]")
+                   mode="emulated", model_name=f"emulator[{cluster.technology.name}]",
+                   trace=trace)
 
     # ------------------------------------------------------------------- runs
     def _resolve_placement(
@@ -140,7 +155,7 @@ class Simulator:
             model_name=self.model_name,
         )
         report = engine.run()
-        self.last_engine_stats = engine.stats.snapshot()
+        self.last_engine_stats = engine.stats.freeze()
         return report
 
     def run_programs(
@@ -167,5 +182,5 @@ class Simulator:
             model_name=self.model_name,
         )
         report = engine.run()
-        self.last_engine_stats = engine.stats.snapshot()
+        self.last_engine_stats = engine.stats.freeze()
         return report

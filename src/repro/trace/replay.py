@@ -1,0 +1,193 @@
+"""Trace-driven interference: replay recorded ``inject.*`` events.
+
+:class:`TraceReplayInjector` is an injector (duck-typed against the
+``reset()`` / ``next_event(now)`` / ``apply(state)`` contract of
+:mod:`repro.simulator.interference`) whose event source is a recorded trace
+instead of a stochastic process.  It replays, at their recorded times and in
+their recorded order:
+
+* ``inject.flow_start`` / ``inject.flow_end`` — background flows, re-started
+  through ``state.start_flow`` with the recorded endpoints/size/owner;
+* ``inject.rate_scale_on`` / ``inject.rate_scale_off`` — link-degradation
+  windows, rebuilt from the recorded ``{factor, hosts}`` payload and
+  followed by a ``state.reprice()`` exactly like
+  :class:`~repro.simulator.interference.LinkDegradationInjector`;
+* ``inject.compute_scale_on`` / ``inject.compute_scale_off`` — node-slowdown
+  windows, rebuilt the same way.
+
+``inject.apply`` and ``inject.reprice`` records are bookkeeping of the
+*original* run (the replayed operations re-emit their own) and are skipped.
+
+Because the replayed operations hit the same ``InjectionState`` surface at
+the same simulation times with the same payloads, replaying a loaded run's
+own trace reproduces that run **bit-exactly** — per-rank event streams,
+completion times and all (``tests/trace/test_replay.py``).  This is the
+ROADMAP's "trace-driven interference": any measured background-flow or
+degradation schedule in the trace container can be imposed on any workload.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Hashable, Iterable, List, Optional, Union
+
+from ..exceptions import TraceError
+from .records import TraceLog, TraceRecord
+
+__all__ = ["TraceReplayInjector", "replay_events", "REPLAYABLE_KINDS"]
+
+#: the record kinds a replay run re-executes (everything else is skipped)
+REPLAYABLE_KINDS = (
+    "inject.flow_start",
+    "inject.flow_end",
+    "inject.rate_scale_on",
+    "inject.rate_scale_off",
+    "inject.compute_scale_on",
+    "inject.compute_scale_off",
+)
+
+
+def replay_events(records: Iterable[TraceRecord]) -> List[TraceRecord]:
+    """Filter a record stream down to the replayable injector events.
+
+    Order is preserved (traces are emitted in simulation order); payloads
+    are validated here so a malformed trace fails at construction, not deep
+    inside a run.
+    """
+    events: List[TraceRecord] = []
+    for record in records:
+        if record.kind not in REPLAYABLE_KINDS:
+            continue
+        if record.kind == "inject.flow_start":
+            for key in ("src", "dst", "size"):
+                if key not in record.data:
+                    raise TraceError(
+                        f"flow_start record at t={record.time} lacks {key!r}"
+                    )
+        elif record.kind in ("inject.rate_scale_on", "inject.compute_scale_on"):
+            if "factor" not in record.data:
+                raise TraceError(
+                    f"{record.kind} record at t={record.time} lacks 'factor' "
+                    "(the trace was recorded by an injector that did not "
+                    "describe its scale)"
+                )
+        events.append(record)
+    return events
+
+
+class TraceReplayInjector:
+    """Replays the injector events of a recorded trace (see module docstring).
+
+    Parameters
+    ----------
+    records:
+        Any iterable of :class:`TraceRecord` — a :class:`TraceLog`, a
+        memory sink's records, or a pre-filtered list.  Non-replayable kinds
+        are filtered out; recorded order is kept.
+    name:
+        Label used in diagnostics and ``describe()``.
+    """
+
+    def __init__(self, records: Iterable[TraceRecord],
+                 name: str = "trace-replay") -> None:
+        self.name = name
+        self.events = replay_events(records)
+        self.reset()
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def from_log(cls, log: TraceLog, name: str = "trace-replay") -> "TraceReplayInjector":
+        return cls(log.records, name=name)
+
+    @classmethod
+    def from_jsonl(cls, path: Union[str, Path],
+                   name: str = "trace-replay") -> "TraceReplayInjector":
+        from .sinks import read_trace_log
+
+        return cls.from_log(read_trace_log(path), name=name)
+
+    # --------------------------------------------------------------- contract
+    def reset(self) -> None:
+        self._cursor = 0
+        #: recorded flow id -> live flow id handed out by this run's state
+        self._flows: Dict[Hashable, Hashable] = {}
+        #: recorded scale handle -> live handle of this run's state
+        self._rate_handles: Dict[Hashable, Optional[int]] = {}
+        self._compute_handles: Dict[Hashable, Optional[int]] = {}
+
+    def next_event(self, now: float) -> Optional[float]:
+        if self._cursor >= len(self.events):
+            return None
+        return self.events[self._cursor].time
+
+    def apply(self, state) -> None:
+        """Re-execute every recorded event sharing the next record's time.
+
+        Same-time records are batched into one firing: the original run may
+        have produced them through *several* injectors applied back-to-back
+        at one clock value (e.g. two windows opening at t=0, which the
+        engine fires in its pre-loop before the first task sweep), and a
+        single replay injector only gets one calendar slot per distinct
+        time.  Same-time operations are order-preserved and take zero
+        simulated time, so batching is observationally identical.
+        """
+        if self._cursor >= len(self.events):  # pragma: no cover - defensive
+            return
+        batch_time = self.events[self._cursor].time
+        while (self._cursor < len(self.events)
+               and self.events[self._cursor].time == batch_time):
+            record = self.events[self._cursor]
+            self._cursor += 1
+            self._dispatch(record, state)
+
+    def _dispatch(self, record: TraceRecord, state) -> None:
+        kind, data = record.kind, record.data
+        if kind == "inject.flow_start":
+            tid = state.start_flow(
+                int(data["src"]), int(data["dst"]), float(data["size"]),
+                owner=str(data.get("owner", self.name)),
+            )
+            if record.subject is not None:
+                self._flows[record.subject] = tid
+        elif kind == "inject.flow_end":
+            # only end flows this replay itself started: a flow_end whose
+            # start fell outside the record window (sliced trace) has no
+            # live twin, and the raw recorded id could alias an unrelated
+            # replayed flow
+            tid = self._flows.pop(record.subject, None)
+            if tid is not None:
+                state.end_flow(tid)
+        elif kind == "inject.rate_scale_on":
+            from ..simulator.interference import make_rate_scale
+
+            scale = make_rate_scale(float(data["factor"]), data.get("hosts"))
+            handle = state.add_rate_scale(scale, info=dict(data))
+            self._rate_handles[record.subject] = handle
+            state.reprice()
+        elif kind == "inject.rate_scale_off":
+            handle = self._rate_handles.pop(record.subject, None)
+            state.remove_rate_scale(handle)
+            state.reprice()
+        elif kind == "inject.compute_scale_on":
+            from ..simulator.interference import make_compute_scale
+
+            scale = make_compute_scale(float(data["factor"]), data.get("hosts"))
+            handle = state.add_compute_scale(scale, info=dict(data))
+            self._compute_handles[record.subject] = handle
+        elif kind == "inject.compute_scale_off":
+            handle = self._compute_handles.pop(record.subject, None)
+            state.remove_compute_scale(handle)
+
+    # -------------------------------------------------------------- reporting
+    def describe(self) -> dict:
+        return {
+            "injector": type(self).__name__,
+            "name": self.name,
+            "events": len(self.events),
+            "start": self.events[0].time if self.events else None,
+            "until": self.events[-1].time if self.events else None,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceReplayInjector(name={self.name!r}, "
+                f"events={len(self.events)})")

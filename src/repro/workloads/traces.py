@@ -9,10 +9,17 @@ module provides the equivalent plumbing for the reproduction:
   :class:`~repro.simulator.application.Application` objects, so workload
   generation and simulation can be decoupled exactly like tracing and replay
   were in the paper;
+* the same applications in the **unified JSONL trace container** of
+  :mod:`repro.trace` (``format="jsonl"``): one ``app.meta`` header record
+  plus one ``app.compute`` / ``app.send`` / ``app.recv`` / ``app.barrier``
+  record per program event, so application traces, simulation traces and
+  replay all share one schema-versioned file format.  :func:`read_trace`
+  auto-detects which of the two formats a file uses (JSONL files start with
+  the ``{"format": "repro-trace", ...}`` header);
 * :func:`apply_tracing_overhead`, which inflates compute durations by the
   instrumentation cost so that experiments can account for it explicitly.
 
-Trace format (``#`` starts a comment)::
+Text trace format (``#`` starts a comment)::
 
     # repro-mpe-trace 1
     tasks 4
@@ -22,6 +29,9 @@ Trace format (``#`` starts a comment)::
     1 recv 0 1048576 0
     1 recv any - 0
     * barrier
+
+The JSONL container additionally preserves event labels, which the text
+format drops.
 """
 
 from __future__ import annotations
@@ -29,7 +39,7 @@ from __future__ import annotations
 import io
 import os
 from pathlib import Path
-from typing import List, TextIO, Union
+from typing import Iterable, List, TextIO, Union
 
 from ..exceptions import TraceError
 from ..simulator.application import Application
@@ -40,8 +50,11 @@ from ..simulator.events import (
     RecvEvent,
     SendEvent,
 )
+from ..trace.records import TRACE_FORMAT, TraceRecord
+from ..trace.sinks import JsonlTraceSink
 
 __all__ = ["write_trace", "read_trace", "trace_to_text", "apply_tracing_overhead",
+           "application_to_records", "records_to_application",
            "MPE_TRACING_OVERHEAD"]
 
 #: tracing overhead measured by the paper for its MPE instrumentation (0.7 %)
@@ -78,10 +91,122 @@ def trace_to_text(application: Application) -> str:
     return "\n".join(lines) + "\n"
 
 
-def write_trace(application: Application, path: Union[str, Path]) -> Path:
-    """Write an application trace to ``path``; returns the path."""
+def application_to_records(application: Application) -> List[TraceRecord]:
+    """Serialise an application into ``app.*`` trace records.
+
+    The first record is the ``app.meta`` header (``num_tasks``, ``name``);
+    event records follow in per-rank program order (rank-major, like the
+    text format).  Record ``time`` is the 0-based per-rank event index —
+    application traces carry program *order*, not wall-clock time.
+    """
+    records: List[TraceRecord] = [TraceRecord(0.0, "app.meta", None, {
+        "num_tasks": application.num_tasks, "name": application.name,
+    })]
+    for trace in application:
+        rank = trace.rank
+        for index, event in enumerate(trace):
+            data: dict = {}
+            if getattr(event, "label", ""):
+                data["label"] = event.label
+            if isinstance(event, ComputeEvent):
+                kind = "app.compute"
+                if event.duration is not None:
+                    data["duration"] = event.duration
+                else:
+                    data["flops"] = event.flops
+            elif isinstance(event, SendEvent):
+                kind = "app.send"
+                data.update({"dst": event.dst, "size": event.size,
+                             "tag": event.tag})
+            elif isinstance(event, RecvEvent):
+                kind = "app.recv"
+                data.update({
+                    "src": None if event.src == ANY_SOURCE else event.src,
+                    "size": event.size, "tag": event.tag,
+                })
+            elif isinstance(event, BarrierEvent):
+                kind = "app.barrier"
+            else:  # pragma: no cover - defensive
+                raise TraceError(f"cannot serialise event {event!r}")
+            records.append(TraceRecord(float(index), kind, rank, data))
+    return records
+
+
+def records_to_application(records: Iterable[TraceRecord]) -> Application:
+    """Rebuild an :class:`Application` from ``app.*`` trace records.
+
+    Non-``app.*`` records are ignored, so an application container can live
+    inside a larger mixed trace.  A missing ``app.meta`` header is an error
+    (the container is schema-versioned end to end).
+    """
+    app: Union[Application, None] = None
+    pending: List[TraceRecord] = []
+    for record in records:
+        if record.kind == "app.meta":
+            if app is not None:
+                raise TraceError("trace contains more than one app.meta record")
+            app = Application(num_tasks=int(record.data["num_tasks"]),
+                              name=str(record.data.get("name", "")))
+            continue
+        if not record.kind.startswith("app."):
+            continue
+        pending.append(record)
+    if app is None:
+        raise TraceError("trace has no app.meta record (not an application "
+                         "container)")
+    for record in pending:
+        data = record.data
+        label = str(data.get("label", ""))
+        if record.kind == "app.barrier" and record.subject == "*":
+            app.add_barrier(label=label)  # global barrier, like the text format
+            continue
+        try:
+            rank = int(record.subject or 0)
+        except (TypeError, ValueError) as exc:
+            raise TraceError(
+                f"application record {record.kind!r} has non-integer "
+                f"rank {record.subject!r}"
+            ) from exc
+        if record.kind == "app.compute":
+            duration = data.get("duration")
+            flops = data.get("flops")
+            app.add_compute(rank,
+                            duration=None if duration is None else float(duration),
+                            flops=None if flops is None else float(flops),
+                            label=label)
+        elif record.kind == "app.send":
+            app.add_send(rank, dst=int(data["dst"]), size=int(data["size"]),
+                         tag=int(data.get("tag", 0)), label=label)
+        elif record.kind == "app.recv":
+            src = data.get("src")
+            size = data.get("size")
+            app.add_recv(rank, src=ANY_SOURCE if src is None else int(src),
+                         size=None if size is None else int(size),
+                         tag=int(data.get("tag", 0)), label=label)
+        elif record.kind == "app.barrier":
+            app.trace(rank).append(BarrierEvent(label=label))
+        else:
+            raise TraceError(f"unknown application record kind {record.kind!r}")
+    return app
+
+
+def write_trace(application: Application, path: Union[str, Path],
+                format: str = "text") -> Path:
+    """Write an application trace to ``path``; returns the path.
+
+    ``format="text"`` (default) keeps the historical MPE-style line format;
+    ``format="jsonl"`` writes the unified :mod:`repro.trace` container
+    (label-preserving, shared with simulation traces and replay).
+    """
     path = Path(path)
-    path.write_text(trace_to_text(application), encoding="utf-8")
+    if format == "text":
+        path.write_text(trace_to_text(application), encoding="utf-8")
+    elif format == "jsonl":
+        with JsonlTraceSink(path) as sink:
+            for record in application_to_records(application):
+                sink.emit(record)
+    else:
+        raise TraceError(f"unknown trace format {format!r} (text or jsonl)")
     return path
 
 
@@ -134,12 +259,27 @@ def _parse_lines(lines: List[str]) -> Application:
     return app
 
 
+def _looks_like_container(text: str) -> bool:
+    """True when the payload is the unified JSONL container, not MPE text."""
+    head = text.lstrip()[:256]
+    return head.startswith("{") and TRACE_FORMAT in head
+
+
 def read_trace(source: Union[str, Path, TextIO]) -> Application:
-    """Read a trace file (path or file object) back into an Application."""
+    """Read a trace file (path or file object) back into an Application.
+
+    Both formats are accepted and auto-detected: the historical MPE-style
+    text lines and the unified JSONL container (``write_trace(...,
+    format="jsonl")``, or any simulation trace carrying ``app.*`` records).
+    """
     if hasattr(source, "read"):
         text = source.read()
     else:
         text = Path(source).read_text(encoding="utf-8")
+    if _looks_like_container(text):
+        from ..trace.sinks import _iter_lines
+
+        return records_to_application(_iter_lines(text.splitlines()))
     return _parse_lines(text.splitlines())
 
 

@@ -1,0 +1,108 @@
+"""Campaign trace toggle: per-scenario JSONL files, spec round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.campaign import CampaignRunner, CampaignSpec
+from repro.trace import read_trace_log
+
+
+def spec_dict(trace_dir=None):
+    data = {
+        "name": "trace-campaign",
+        "workloads": [
+            {"kind": "collective", "name": "broadcast", "params": {"size": "1M"}},
+            {"kind": "scheme", "name": "fig2-s2"},
+        ],
+        "host_counts": [4],
+        "interference": [
+            "none",
+            {"name": "bg",
+             "background": {"rate": 150, "size": "2M", "max_flows": 4}},
+        ],
+    }
+    if trace_dir is not None:
+        data["trace_dir"] = trace_dir
+    return data
+
+
+class TestSpecToggle:
+    def test_trace_dir_round_trips_through_dict_and_json(self, tmp_path):
+        spec = CampaignSpec.from_dict(spec_dict(trace_dir="traces"))
+        assert spec.trace_dir == "traces"
+        assert CampaignSpec.from_dict(spec.to_dict()).trace_dir == "traces"
+        path = tmp_path / "spec.json"
+        spec.to_json(path)
+        assert CampaignSpec.from_json(path).trace_dir == "traces"
+
+    def test_trace_dir_defaults_to_off_and_is_omitted(self):
+        spec = CampaignSpec.from_dict(spec_dict())
+        assert spec.trace_dir is None
+        assert "trace_dir" not in spec.to_dict()
+
+
+class TestRunnerTracing:
+    def test_traced_campaign_writes_one_file_per_app_scenario(self, tmp_path):
+        trace_dir = tmp_path / "traces"
+        spec = CampaignSpec.from_dict(spec_dict(trace_dir=str(trace_dir)))
+        runner = CampaignRunner(spec)
+        store = runner.run()
+
+        paths = runner.trace_paths()
+        app_scenarios = [s for s in spec.scenarios() if s.is_application]
+        graph_scenarios = [s for s in spec.scenarios() if not s.is_application]
+        assert len(paths) == len(app_scenarios) == 2
+        assert graph_scenarios  # the scheme workload traces nothing
+        for scenario, path in zip(app_scenarios, paths):
+            assert path.name == f"{scenario.scenario_id}.jsonl"
+            log = read_trace_log(path)
+            assert len(log) > 0
+            # self-describing: `repro trace replay` needs the run.meta header
+            meta = log.meta()
+            assert meta["scenario_id"] == scenario.scenario_id
+            assert meta["workload"] == scenario.workload.name
+            assert meta["hosts"] == scenario.num_hosts
+            result = store.by_id(scenario.scenario_id)
+            # the trace's task events are the run's report records
+            assert log.kinds()["task.event"] > 0
+            if scenario.interference and scenario.interference.name != "none":
+                assert log.kinds()["inject.flow_start"] > 0
+            assert result.metrics["total_time"] > 0
+
+    def test_tracing_does_not_change_results(self, tmp_path):
+        clean_spec = CampaignSpec.from_dict(spec_dict())
+        traced_spec = CampaignSpec.from_dict(
+            spec_dict(trace_dir=str(tmp_path / "t")))
+        untraced = CampaignRunner(clean_spec).run()
+        traced = CampaignRunner(traced_spec).run()
+        assert [r.to_dict() for r in traced] == [r.to_dict() for r in untraced]
+
+    def test_runner_argument_overrides_the_spec(self, tmp_path):
+        spec = CampaignSpec.from_dict(spec_dict())
+        override = tmp_path / "override"
+        runner = CampaignRunner(spec, trace_dir=str(override))
+        runner.run()
+        assert runner.trace_dir == str(override)
+        assert any(override.glob("*.jsonl"))
+
+    @pytest.mark.parametrize("backend,workers", [("thread", 2), ("process", 2)])
+    def test_parallel_backends_trace_identically_to_serial(
+        self, tmp_path, backend, workers
+    ):
+        serial_dir = tmp_path / "serial"
+        parallel_dir = tmp_path / backend
+        spec = CampaignSpec.from_dict(spec_dict())
+        serial_store = CampaignRunner(spec, trace_dir=str(serial_dir)).run()
+        parallel_store = CampaignRunner(
+            spec, trace_dir=str(parallel_dir), max_workers=workers,
+            backend=backend,
+        ).run()
+        assert [r.to_dict() for r in parallel_store] == \
+            [r.to_dict() for r in serial_store]
+        serial_files = sorted(p.name for p in serial_dir.glob("*.jsonl"))
+        parallel_files = sorted(p.name for p in parallel_dir.glob("*.jsonl"))
+        assert serial_files == parallel_files
+        for name in serial_files:
+            assert (serial_dir / name).read_text() == \
+                (parallel_dir / name).read_text()

@@ -89,3 +89,113 @@ class TestCli:
     def test_requires_a_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestTraceCli:
+    def test_simulate_writes_a_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "sim.jsonl"
+        code = main(["simulate", "--workload", "broadcast", "--hosts", "4",
+                     "--bg-rate", "150", "--bg-max-flows", "3",
+                     "--trace", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace:" in out and str(trace_path) in out
+        from repro.trace import read_trace_log
+
+        log = read_trace_log(trace_path)
+        assert log.meta()["workload"] == "broadcast"
+        assert log.kinds()["task.event"] > 0
+
+    def test_trace_record_summarize_replay_round_trip(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        code = main(["trace", "record", "--workload", "ring-allgather",
+                     "--hosts", "4", "--bg-rate", "120", "--bg-size", "1M",
+                     "--bg-max-flows", "6", "--out", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace recorded" in out
+        assert trace_path.exists()
+
+        code = main(["trace", "summarize", str(trace_path), "--bins", "5"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace timeline" in out
+        assert "records:" in out
+
+        code = main(["trace", "replay", str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replay reproduces the recorded run: yes" in out
+
+    def test_trace_replay_with_overrides_is_informational(self, tmp_path, capsys):
+        """Cross-scenario replay (override flags) must not claim or fail
+        the bit-exactness check."""
+        trace_path = tmp_path / "run.jsonl"
+        assert main(["trace", "record", "--workload", "broadcast",
+                     "--hosts", "4", "--bg-rate", "100", "--bg-max-flows", "3",
+                     "--out", str(trace_path)]) == 0
+        capsys.readouterr()
+        code = main(["trace", "replay", str(trace_path),
+                     "--hosts", "6", "--tasks", "6"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "not comparable" in out
+        assert "reproduces" not in out
+
+    def test_campaign_trace_is_replayable(self, tmp_path, capsys):
+        """Campaign-written traces carry run.meta and feed `trace replay`."""
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "replayable",
+            "workloads": [{"kind": "collective", "name": "broadcast",
+                           "params": {"size": "1M"}}],
+            "host_counts": [4],
+            "interference": [
+                {"name": "bg",
+                 "background": {"rate": 150, "size": "2M", "max_flows": 3}},
+            ],
+        }))
+        trace_dir = tmp_path / "traces"
+        assert main(["campaign", "--spec", str(spec_path),
+                     "--trace-dir", str(trace_dir)]) == 0
+        capsys.readouterr()
+        trace_file = next(iter(trace_dir.glob("*.jsonl")))
+        code = main(["trace", "replay", str(trace_file)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replay reproduces the recorded run: yes" in out
+
+    def test_trace_replay_rejects_a_metaless_trace(self, tmp_path, capsys):
+        from repro.trace import JsonlTraceSink
+
+        path = tmp_path / "no-meta.jsonl"
+        JsonlTraceSink(path).close()
+        code = main(["trace", "replay", str(path)])
+        assert code == 2
+        assert "run.meta" in capsys.readouterr().err
+
+    def test_campaign_trace_dir_prints_the_summary_table(self, tmp_path, capsys):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-trace",
+            "workloads": [{"kind": "collective", "name": "broadcast",
+                           "params": {"size": "1M"}}],
+            "host_counts": [4],
+            "interference": [
+                "none",
+                {"name": "bg",
+                 "background": {"rate": 150, "size": "2M", "max_flows": 4}},
+            ],
+        }))
+        trace_dir = tmp_path / "traces"
+        code = main(["campaign", "--spec", str(spec_path),
+                     "--trace-dir", str(trace_dir)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "trace summary: 2 scenario traces" in out
+        assert "placement robustness" in out
+        assert len(list(trace_dir.glob("*.jsonl"))) == 2
