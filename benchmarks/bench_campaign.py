@@ -17,7 +17,6 @@ the repository root so the perf trajectory accumulates across PRs.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -84,8 +83,6 @@ def test_campaign_serial_cold_vs_parallel_warm(tmp_path, emit):
         f"model-evaluation reduction: {eval_ratio:.1f}x   "
         f"wall-clock speedup: {speedup:.2f}x",
     ]
-    emit("campaign", "\n".join(lines))
-
     record = {
         "benchmark": "bench_campaign",
         "scenarios": len(cold_store),
@@ -95,14 +92,7 @@ def test_campaign_serial_cold_vs_parallel_warm(tmp_path, emit):
                        if eval_ratio != float("inf") else "inf"),
         "wall_clock_speedup": round(speedup, 2),
     }
-    history = []
-    if BENCH_JSON.exists():
-        try:
-            history = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-        except json.JSONDecodeError:
-            history = []
-    history.append(record)
-    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    emit("campaign", "\n".join(lines), record=record, bench_json=BENCH_JSON)
 
     # acceptance: a warm persistent cache must at least halve the model
     # evaluations of a repeated campaign (it zeroes them when every scenario

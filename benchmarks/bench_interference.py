@@ -14,7 +14,6 @@ across PRs.
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
@@ -103,8 +102,6 @@ def test_interference_slowdown_ladder(emit):
             f"{name:<14s}{fg_time:>9.4f}s{slowdown:>9.2f}x"
             f"{flows:>10d}{updates:>10d}{elapsed:>10.3f} s"
         )
-    emit("interference", "\n".join(lines))
-
     record = {
         "benchmark": "bench_interference",
         "num_hosts": NUM_HOSTS,
@@ -114,14 +111,7 @@ def test_interference_slowdown_ladder(emit):
         "clean_rate_updates": clean_stats["rate_updates"],
         "levels": records,
     }
-    history = []
-    if BENCH_JSON.exists():
-        try:
-            history = json.loads(BENCH_JSON.read_text(encoding="utf-8"))
-        except json.JSONDecodeError:
-            history = []
-    history.append(record)
-    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n", encoding="utf-8")
+    emit("interference", "\n".join(lines), record=record, bench_json=BENCH_JSON)
 
     by_name = {r["interference"]: r for r in records}
     # acceptance: interference slows the foreground, and more interference

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
+from .._numpy import np
 
 from ..exceptions import ReproError
 from ..simulator.report import SimulationReport

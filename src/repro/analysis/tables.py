@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
-import numpy as np
+from .._numpy import np
 
 from ..units import format_time
 

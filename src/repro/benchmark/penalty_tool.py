@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence
 
-import numpy as np
+from .._numpy import np
 
 from ..core.graph import CommunicationGraph
 from ..core.penalty import ContentionModel, LinearCostModel

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
-import numpy as np
+from .._numpy import np
 
 from ..exceptions import SchedulingError
 from .spec import ClusterSpec

@@ -25,7 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, Mapping, Sequence, Tuple
 
-import numpy as np
+from .._numpy import np
 from scipy import optimize
 
 from ..exceptions import CalibrationError

@@ -30,6 +30,18 @@ evaluating a component's subgraph performs the *same* arithmetic on the
 result of an isomorphic component — the penalties are bit-identical to a
 full recomputation (property-tested in
 ``tests/property/test_incremental_properties.py``).
+
+Batched pricing: with ``vectorized=True`` (the default) the engine gathers
+every dirty component that missed the cache and prices the whole set in one
+:meth:`~repro.core.penalty.ContentionModel.penalties_batch` call — the
+analytic models compute the λ/γ degree counts and penalties of all
+selections as numpy array operations instead of a Python loop per
+communication.  The batch path replicates the scalar arithmetic operation
+for operation (int degree counts convert to float64 exactly, and the
+association order of every product matches the scalar expressions), so the
+penalties are **bit-identical** to ``vectorized=False``;
+``tests/property/test_vectorized_pricing.py`` cross-checks the two paths
+over random delta sequences on every shipped model.
 """
 
 from __future__ import annotations
@@ -228,6 +240,11 @@ class IncrementalPenaltyEngine:
         evaluated (serially the second is a cache hit), so the work counters
         may differ from the serial ones even though the penalties are
         bit-exact.
+    vectorized:
+        When True (default), cache-miss components of one refresh are priced
+        in a single :meth:`~repro.core.penalty.ContentionModel.penalties_batch`
+        call (numpy array operations on the analytic models); ``False``
+        forces the scalar per-component path.  Both are bit-exact.
     """
 
     def __init__(
@@ -236,9 +253,11 @@ class IncrementalPenaltyEngine:
         cache: Optional[PenaltyCache] = None,
         name: str = "in-flight",
         map_fn: Optional[Callable] = None,
+        vectorized: bool = True,
     ) -> None:
         self.model = model
         self.map_fn = map_fn
+        self.vectorized = bool(vectorized)
         self.rule = model.component_rule
         if cache is None and model.structural_penalties:
             cache = PenaltyCache()
@@ -390,6 +409,9 @@ class IncrementalPenaltyEngine:
         if self.map_fn is not None and self.rule is not None:
             self._price_dirty_parallel()
             return
+        if self.vectorized:
+            self._price_dirty_batched()
+            return
         for comp_id in sorted(self._dirty):
             names = sorted(self._members[comp_id])
             if self.cache is not None:
@@ -414,6 +436,43 @@ class IncrementalPenaltyEngine:
                 self._penalties[name] = evaluated[name]
         self._dirty.clear()
 
+    def _price_dirty_batched(self) -> None:
+        """Vectorized :meth:`_price_dirty`: every cache miss in one batch call.
+
+        Like the ``map_fn`` parallel path, two isomorphic components dirtied
+        in the same refresh are both evaluated (serially the second is a
+        cache hit), so the work counters may differ from the serial ones
+        even though the penalties are bit-exact.
+        """
+        pending: List[Tuple[List[str], Optional[Hashable], Optional[Dict[str, Tuple[int, int]]]]] = []
+        for comp_id in sorted(self._dirty):
+            names = sorted(self._members[comp_id])
+            if self.cache is not None:
+                component_key, endpoint_ranks = self.graph.canonical_component(names)
+                key = (self._model_key, component_key)
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    for name in names:
+                        self._penalties[name] = cached[endpoint_ranks[name]]
+                    continue
+                self.stats.cache_misses += 1
+                pending.append((names, key, endpoint_ranks))
+            else:
+                pending.append((names, None, None))
+        if pending:
+            evaluations = self.model.penalties_batch(
+                self.graph, [names for names, _, _ in pending]
+            )
+            for (names, key, endpoint_ranks), evaluated in zip(pending, evaluations):
+                self.stats.component_evaluations += 1
+                self.stats.comm_evaluations += len(names)
+                if key is not None and self.cache is not None:
+                    self.cache.store(key, endpoint_ranks, evaluated)
+                for name in names:
+                    self._penalties[name] = evaluated[name]
+        self._dirty.clear()
+
     def _price_dirty_parallel(self) -> None:
         """Batch variant of :meth:`_price_dirty` that fans misses out via ``map_fn``."""
         hits: List[Tuple[List[str], Dict[Tuple[int, int], float], Dict[str, Tuple[int, int]]]] = []
@@ -432,11 +491,15 @@ class IncrementalPenaltyEngine:
                 pending.append((names, None, None))
         if len(pending) > 1:
             jobs = [
-                (self.model, self.graph.subgraph(names), tuple(names))
+                (self.model, self.graph.subgraph(names), tuple(names), self.vectorized)
                 for names, _, _ in pending
             ]
             evaluations = list(self.map_fn(_evaluate_component, jobs))
-        else:  # nothing to parallelize: skip the pool round-trip
+        elif self.vectorized:  # nothing to parallelize: skip the pool round-trip
+            evaluations = self.model.penalties_batch(
+                self.graph, [names for names, _, _ in pending]
+            )
+        else:
             evaluations = [
                 self.model.component_penalties(self.graph, names)
                 for names, _, _ in pending
@@ -480,14 +543,19 @@ class IncrementalPenaltyEngine:
         )
 
 
-def _evaluate_component(job: Tuple[ContentionModel, CommunicationGraph, Tuple[str, ...]]) -> Dict[str, float]:
+def _evaluate_component(job: Tuple) -> Dict[str, float]:
     """Evaluate one conflict component (module-level so process pools can pickle it).
 
-    ``job`` is ``(model, component_subgraph, names)``; for a component-local
-    model, pricing the component's subgraph is exactly equivalent to pricing
-    it inside the full graph.
+    ``job`` is ``(model, component_subgraph, names[, vectorized])``; for a
+    component-local model, pricing the component's subgraph is exactly
+    equivalent to pricing it inside the full graph.  With ``vectorized``
+    true the worker goes through the model's batch path (bit-exact either
+    way).
     """
-    model, graph, names = job
+    model, graph, names = job[:3]
+    vectorized = job[3] if len(job) > 3 else False
+    if vectorized:
+        return model.penalties_batch(graph, [list(names)])[0]
     return model.component_penalties(graph, list(names))
 
 
@@ -497,6 +565,7 @@ def cached_penalties(
     cache: Optional[PenaltyCache] = None,
     map_fn: Optional[Callable] = None,
     stats: Optional[EngineStats] = None,
+    vectorized: bool = True,
 ) -> Dict[str, float]:
     """Penalties of a static graph through the component/cache machinery.
 
@@ -504,9 +573,12 @@ def cached_penalties(
     holding a fixed :class:`CommunicationGraph` (experiment sweeps, campaign
     scenarios): the graph is partitioned into conflict components under the
     model's rule, isomorphic components are served from ``cache``, and the
-    cache misses are evaluated — in parallel through ``map_fn`` when given.
-    Bit-exact with ``model.penalties(graph)`` for every shipped model
-    (component locality and snapshot replay are both exact).
+    cache misses are evaluated — all in one
+    :meth:`~repro.core.penalty.ContentionModel.penalties_batch` dispatch
+    when ``vectorized`` (the default), or in parallel through ``map_fn``
+    when given.  Bit-exact with ``model.penalties(graph)`` for every
+    shipped model (component locality, snapshot replay and the batch array
+    path are all exact).
     """
     if stats is None:
         stats = EngineStats()
@@ -544,8 +616,15 @@ def cached_penalties(
             pending.append((names, None, None))
     if pending:
         if map_fn is not None and rule is not None and len(pending) > 1:
-            jobs = [(model, graph.subgraph(names), tuple(names)) for names, _, _ in pending]
+            jobs = [
+                (model, graph.subgraph(names), tuple(names), vectorized)
+                for names, _, _ in pending
+            ]
             evaluations = list(map_fn(_evaluate_component, jobs))
+        elif vectorized:
+            evaluations = model.penalties_batch(
+                graph, [list(names) for names, _, _ in pending]
+            )
         else:
             evaluations = [model.component_penalties(graph, list(names)) for names, _, _ in pending]
         for (names, key, endpoint_ranks), evaluated in zip(pending, evaluations):
@@ -567,6 +646,7 @@ def cached_predict(
     cache: Optional[PenaltyCache] = None,
     map_fn: Optional[Callable] = None,
     stats: Optional[EngineStats] = None,
+    vectorized: bool = True,
 ) -> PenaltyPrediction:
     """Cache-aware counterpart of :meth:`ContentionModel.predict`.
 
@@ -574,7 +654,8 @@ def cached_predict(
     diagnostics are skipped (they bypass the component cache and none of the
     sweep consumers read them).
     """
-    pens = cached_penalties(model, graph, cache=cache, map_fn=map_fn, stats=stats)
+    pens = cached_penalties(model, graph, cache=cache, map_fn=map_fn, stats=stats,
+                            vectorized=vectorized)
     times: Dict[str, float] = {}
     if cost_model is not None:
         for comm in graph:

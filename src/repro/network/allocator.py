@@ -61,10 +61,11 @@ import bisect
 from dataclasses import dataclass
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from .._numpy import np
 from ..core.incremental import PenaltyCache
 from ..exceptions import SimulationError
 from .fluid import Transfer
-from .sharing import FlowSpec, max_min_allocation
+from .sharing import FlowSpec, max_min_allocation, water_fill_arrays
 from .technologies import NetworkTechnology
 from .topology import CrossbarTopology, Topology
 
@@ -93,12 +94,22 @@ class EmulatorRateProvider:
         Re-solve only the changed flow's coupling component when exactly one
         flow arrived/departed (see the module docstring); pass ``False`` to
         force a full water-filling on every miss.
+    vectorized:
+        When True (default), cache-miss situations are priced through the
+        array water-filling of :func:`repro.network.sharing.water_fill_arrays`
+        over incidence arrays built incrementally from the tracked endpoint
+        multiset (per-transfer resource tuples and per-host directional
+        counts are maintained by ``_track``/``_untrack``, and the capacity
+        vector covers only the resources the active flows reference instead
+        of the O(num_hosts) full topology dictionary).  When False, every
+        miss goes through the historical scalar :class:`FlowSpec` path.  The
+        two are bit-exact — see ``tests/property/test_vectorized_sharing.py``.
     """
 
     def __init__(self, technology: NetworkTechnology, topology: Topology | None = None,
                  num_hosts: int = 64, cache_size: int = 4096,
                  cache: Optional[PenaltyCache] = None,
-                 warm_start: bool = True) -> None:
+                 warm_start: bool = True, vectorized: bool = True) -> None:
         self.technology = technology
         self.topology = topology or CrossbarTopology(num_hosts=num_hosts, technology=technology)
         if self.topology.technology is not technology:
@@ -117,8 +128,15 @@ class EmulatorRateProvider:
         self.cache_misses = 0
         self.warm_start = bool(warm_start)
         self.warm_starts = 0
+        self.vectorized = bool(vectorized)
         #: tracked active set, for the delta contract (:meth:`update`)
         self._active: Dict[Hashable, Transfer] = {}
+        #: incremental incidence state for the array solver: resource tuple
+        #: per transfer, base capacity per referenced resource, and per-host
+        #: directional counts over the whole tracked set
+        self._resources_of_tid: Dict[Hashable, Tuple[Hashable, ...]] = {}
+        self._base_caps: Dict[Hashable, float] = {}
+        self._counts: Dict[int, Dict[str, int]] = {}
         #: incremental endpoint multiset: pair per transfer, transfers per
         #: pair, and the sorted pair list that keys the memo (bisect-updated)
         self._pair_of_tid: Dict[Hashable, Tuple[int, int]] = {}
@@ -153,6 +171,15 @@ class EmulatorRateProvider:
         self._rates_by_tid = {}
         self._last_by_pair = None
         self._primed = False
+        # the cached routes and capacities mirror the (possibly mutated)
+        # topology/technology: rebuild them for the tracked transfers
+        self._base_caps = {}
+        for tid, transfer in self._active.items():
+            resources = self._resources_for(transfer)
+            self._resources_of_tid[tid] = resources
+            for resource in resources:
+                if resource not in self._base_caps:
+                    self._base_caps[resource] = self.topology.resource_capacity(resource)
 
     # ---------------------------------------------------------------- helpers
     def _directional_counts(self, active: Sequence[Transfer]) -> Dict[int, Dict[str, int]]:
@@ -210,6 +237,16 @@ class EmulatorRateProvider:
             )
         return specs
 
+    def _resources_for(self, transfer: Transfer) -> Tuple[Hashable, ...]:
+        """Capacity constraints the transfer consumes (cached per transfer)."""
+        if transfer.is_intra_node:
+            return (self.topology.memory_resource(transfer.src),)
+        tx_key, _ = self.topology.nic_resources(transfer.src)
+        _, rx_key = self.topology.nic_resources(transfer.dst)
+        return (tx_key, rx_key) + tuple(
+            self.topology.fabric_route(transfer.src, transfer.dst)
+        )
+
     # -------------------------------------------------------------- interface
     def _situation_key(self) -> Hashable:
         """Memo key of the tracked situation — O(active) tuple copy of the
@@ -217,10 +254,73 @@ class EmulatorRateProvider:
         return (self._namespace, tuple(self._sorted_pairs))
 
     def _solve(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
+        if self.vectorized:
+            return self._solve_arrays(active)
         counts = self._directional_counts(active)
         capacities = self._adjusted_capacities(counts)
         specs = self._flow_specs(active, counts)
-        return max_min_allocation(specs, capacities)
+        return max_min_allocation(specs, capacities, vectorized=False)
+
+    def _solve_arrays(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
+        """Array water-filling over the incrementally maintained incidence state.
+
+        ``active`` may be the full tracked set or one coupling component (the
+        warm-start path): the full-set directional counts agree with the
+        component-restricted ones on every host a component flow touches —
+        any transfer touching such a host belongs to the component — so the
+        duplex caps and capacity degradations below are exactly those the
+        scalar path computes, and unreferenced resources never influence the
+        water level.  Bit-exact with ``_solve`` under ``vectorized=False``.
+        """
+        sharing = self.technology.sharing
+        single = self.technology.single_stream_bandwidth
+        counts = self._counts
+        tids: List[Hashable] = []
+        caps: List[float] = []
+        ent_flow: List[int] = []
+        ent_res: List[int] = []
+        res_index: Dict[Hashable, int] = {}
+        res_caps: List[float] = []
+        for position, transfer in enumerate(active):
+            tid = transfer.transfer_id
+            tids.append(tid)
+            if transfer.is_intra_node:
+                cap = self.technology.memory_bandwidth
+            else:
+                cap = single
+                dst_counts = counts.get(transfer.dst)
+                if dst_counts is not None and dst_counts["tx"] >= 1:
+                    cap *= 1.0 - sharing.duplex_flow_slowdown
+            if cap <= 0:
+                raise SimulationError(f"flow {tid!r} has non-positive cap {cap}")
+            caps.append(cap)
+            for resource in self._resources_of_tid[tid]:
+                index = res_index.get(resource)
+                if index is None:
+                    index = res_index[resource] = len(res_caps)
+                    res_caps.append(self._base_caps[resource])
+                ent_flow.append(position)
+                ent_res.append(index)
+        # income/outgo degradations on the referenced NIC ports
+        for host, c in counts.items():
+            if c["rx"] >= sharing.reverse_threshold and c["tx"] >= 1:
+                tx_key, rx_key = self.topology.nic_resources(host)
+                index = res_index.get(tx_key)
+                if index is not None:
+                    res_caps[index] *= 1.0 - sharing.tx_capacity_loss
+                index = res_index.get(rx_key)
+                if index is not None:
+                    res_caps[index] *= 1.0 - sharing.rx_capacity_loss
+        num_flows = len(tids)
+        rates = water_fill_arrays(
+            np.ones(num_flows, dtype=np.float64),
+            np.asarray(caps, dtype=np.float64),
+            np.asarray(ent_flow, dtype=np.int64),
+            np.asarray(ent_res, dtype=np.int64),
+            np.asarray(res_caps, dtype=np.float64),
+            max_iterations=num_flows + len(res_caps) + 1,
+        )
+        return dict(zip(tids, rates.tolist()))
 
     # ------------------------------------------------------------ warm start
     def _coupling_keys(self, src: int, dst: int) -> Tuple[Hashable, ...]:
@@ -292,6 +392,8 @@ class EmulatorRateProvider:
         self._rates_by_tid = {}
         self._last_by_pair = None
         self._primed = False
+        self._resources_of_tid = {}
+        self._counts = {}
 
     def _track(self, transfer: Transfer) -> Tuple[int, int]:
         tid = transfer.transfer_id
@@ -300,10 +402,20 @@ class EmulatorRateProvider:
         self._pair_of_tid[tid] = pair
         self._tids_of_pair.setdefault(pair, {})[tid] = None
         bisect.insort(self._sorted_pairs, pair)
+        resources = self._resources_for(transfer)
+        self._resources_of_tid[tid] = resources
+        for resource in resources:
+            if resource not in self._base_caps:
+                self._base_caps[resource] = self.topology.resource_capacity(resource)
+        if not transfer.is_intra_node:
+            counts = self._counts.setdefault(transfer.src, {"tx": 0, "rx": 0})
+            counts["tx"] += 1
+            counts = self._counts.setdefault(transfer.dst, {"tx": 0, "rx": 0})
+            counts["rx"] += 1
         return pair
 
     def _untrack(self, tid: Hashable) -> Tuple[int, int]:
-        del self._active[tid]
+        transfer = self._active.pop(tid)
         pair = self._pair_of_tid.pop(tid)
         bucket = self._tids_of_pair[pair]
         del bucket[tid]
@@ -311,6 +423,16 @@ class EmulatorRateProvider:
             del self._tids_of_pair[pair]
         del self._sorted_pairs[bisect.bisect_left(self._sorted_pairs, pair)]
         self._rates_by_tid.pop(tid, None)
+        del self._resources_of_tid[tid]
+        if not transfer.is_intra_node:
+            counts = self._counts[transfer.src]
+            counts["tx"] -= 1
+            if counts["tx"] == 0 and counts["rx"] == 0:
+                del self._counts[transfer.src]
+            counts = self._counts[transfer.dst]
+            counts["rx"] -= 1
+            if counts["tx"] == 0 and counts["rx"] == 0:
+                del self._counts[transfer.dst]
         return pair
 
     def update(

@@ -16,12 +16,35 @@ The implementation follows the textbook water-filling algorithm:
 
 1. every unfrozen flow grows at the same rate;
 2. the first constraint to saturate (a resource whose remaining capacity
-   divided by its number of unfrozen flows is minimal, or a per-flow cap)
-   freezes the flows it limits;
+   divided by its weight pressure is minimal, or a per-flow cap) freezes
+   the flows it limits;
 3. repeat until every flow is frozen.
 
-NumPy is used for the per-iteration reductions; the number of iterations is
-bounded by the number of resources plus the number of distinct caps.
+Two implementations share that freeze-round structure:
+
+* the **scalar reference** (``vectorized=False``) walks Python dicts — one
+  loop iteration per flow and per resource touched, the historical code;
+* the **array path** (``vectorized=True``) operates on a flow×resource
+  incidence matrix in CSR style: two parallel index arrays ``(entry →
+  flow, entry → resource)`` plus per-flow weight/cap and per-resource
+  capacity vectors.  Each freeze round reduces over those arrays (weight
+  pressure via ``np.add.at``, the binding constraint via array minima, the
+  capacity charge via ``np.subtract.at``, the numerical-safety "tightest
+  flow" via a masked ``argmin``) — no per-flow Python in the inner
+  iteration.
+
+**Bit-exactness contract**: the array path replicates the scalar loop
+operation for operation — the per-entry accumulations of ``np.add.at`` /
+``np.subtract.at`` apply in entry order, which is exactly the scalar
+flow-major iteration order; every quotient, threshold and comparison uses
+the same operands in the same association order; and ``np.argmin`` breaks
+ties like the scalar first-minimum scan.  The two paths therefore return
+**bit-identical** rates for any input, which
+``tests/property/test_vectorized_sharing.py`` and
+``tests/network/test_sharing_degenerate.py`` assert (including degenerate
+inputs and weights spanning six orders of magnitude).  ``vectorized=None``
+(the default) auto-dispatches by problem size — safe precisely because the
+two paths cannot disagree.
 """
 
 from __future__ import annotations
@@ -29,13 +52,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-import numpy as np
-
+from .._numpy import np
 from ..exceptions import SimulationError
 
-__all__ = ["FlowSpec", "max_min_allocation", "weighted_max_min_allocation"]
+__all__ = [
+    "FlowSpec",
+    "max_min_allocation",
+    "weighted_max_min_allocation",
+    "water_fill_arrays",
+]
 
 ResourceId = Hashable
+
+#: saturation tolerance of the freeze rounds (both implementations)
+_EPS = 1e-12
+
+#: below this many flows the scalar loop wins on constant factors; the
+#: dispatch is a pure performance choice because the paths are bit-exact
+_VECTORIZED_MIN_FLOWS = 12
 
 
 @dataclass(frozen=True)
@@ -62,6 +96,7 @@ class FlowSpec:
 def max_min_allocation(
     flows: Sequence[FlowSpec],
     capacities: Mapping[ResourceId, float],
+    vectorized: Optional[bool] = None,
 ) -> Dict[Hashable, float]:
     """Max-min fair rates for ``flows`` under ``capacities``.
 
@@ -74,14 +109,20 @@ def max_min_allocation(
     >>> rates["a"] == rates["b"] == 50.0
     True
     """
-    return weighted_max_min_allocation(flows, capacities)
+    return weighted_max_min_allocation(flows, capacities, vectorized=vectorized)
 
 
 def weighted_max_min_allocation(
     flows: Sequence[FlowSpec],
     capacities: Mapping[ResourceId, float],
+    vectorized: Optional[bool] = None,
 ) -> Dict[Hashable, float]:
-    """Weighted max-min fair allocation (weights scale each flow's share)."""
+    """Weighted max-min fair allocation (weights scale each flow's share).
+
+    ``vectorized`` selects the implementation: ``True`` forces the array
+    path, ``False`` the scalar reference loop, ``None`` (default) picks by
+    problem size.  The two are bit-exact (see the module docstring).
+    """
     if not flows:
         return {}
 
@@ -99,6 +140,129 @@ def weighted_max_min_allocation(
         if capacity < 0:
             raise SimulationError(f"resource {resource!r} has negative capacity {capacity}")
 
+    if vectorized is None:
+        vectorized = len(flows) >= _VECTORIZED_MIN_FLOWS
+    if vectorized:
+        return _allocate_arrays(flows, capacities)
+    return _allocate_scalar(flows, capacities)
+
+
+# --------------------------------------------------------------- array path
+def _allocate_arrays(
+    flows: Sequence[FlowSpec],
+    capacities: Mapping[ResourceId, float],
+) -> Dict[Hashable, float]:
+    """Build the CSR-style incidence arrays and run the array water-filling."""
+    res_index: Dict[ResourceId, int] = {}
+    ent_flow: List[int] = []
+    ent_res: List[int] = []
+    # flow-major entry order: this is what makes the np.add.at/subtract.at
+    # accumulations replicate the scalar loop's float operation order
+    for position, flow in enumerate(flows):
+        for resource in flow.resources:
+            ent_flow.append(position)
+            ent_res.append(res_index.setdefault(resource, len(res_index)))
+    num_flows = len(flows)
+    weights = np.fromiter((f.weight for f in flows), dtype=np.float64, count=num_flows)
+    caps = np.fromiter((f.cap for f in flows), dtype=np.float64, count=num_flows)
+    resource_caps = np.fromiter(
+        (capacities[r] for r in res_index), dtype=np.float64, count=len(res_index)
+    )
+    rates = water_fill_arrays(
+        weights,
+        caps,
+        np.asarray(ent_flow, dtype=np.int64),
+        np.asarray(ent_res, dtype=np.int64),
+        resource_caps,
+        max_iterations=len(flows) + len(capacities) + 1,
+    )
+    return dict(zip((f.flow_id for f in flows), rates.tolist()))
+
+
+def water_fill_arrays(
+    weights: "np.ndarray",
+    caps: "np.ndarray",
+    ent_flow: "np.ndarray",
+    ent_res: "np.ndarray",
+    resource_caps: "np.ndarray",
+    max_iterations: Optional[int] = None,
+) -> "np.ndarray":
+    """Water-filling freeze loop over a flow×resource incidence matrix.
+
+    ``weights``/``caps`` are per-flow (length n); ``resource_caps`` is the
+    per-resource capacity vector (length m); ``ent_flow``/``ent_res`` are
+    the parallel entry arrays of the incidence matrix in flow-major order.
+    Returns the per-flow rate vector (clamped at 0).  Bit-exact with the
+    scalar loop of :func:`weighted_max_min_allocation` — see the module
+    docstring for why the operation order matches.
+    """
+    num_flows = weights.shape[0]
+    num_resources = resource_caps.shape[0]
+    if max_iterations is None:
+        max_iterations = num_flows + num_resources + 1
+    rates = np.zeros(num_flows, dtype=np.float64)
+    remaining = resource_caps.astype(np.float64, copy=True)
+    # saturation threshold per resource: eps * max(1, original capacity)
+    saturation = _EPS * np.maximum(1.0, resource_caps)
+    # per-flow freeze threshold: cap - eps * max(1, cap) (1 for infinite caps)
+    cap_freeze = caps - _EPS * np.maximum(1.0, np.where(np.isinf(caps), 1.0, caps))
+    active = np.ones(num_flows, dtype=bool)
+
+    for _ in range(max_iterations):
+        if not active.any():
+            break
+
+        live = active[ent_flow]
+        e_flow = ent_flow[live]
+        e_res = ent_res[live]
+
+        # weight pressure on every resource from the still-active flows
+        pressure = np.zeros(num_resources, dtype=np.float64)
+        np.add.at(pressure, e_res, weights[e_flow])
+        touched = np.zeros(num_resources, dtype=bool)
+        touched[e_res] = True
+
+        # how much further the common level can rise before a constraint
+        # binds: resource ratios and per-flow cap headrooms
+        increment = np.inf
+        if e_res.size:
+            increment = float(np.min(remaining[touched] / pressure[touched]))
+        headroom = (caps[active] - rates[active]) / weights[active]
+        if headroom.size:
+            increment = min(increment, float(np.min(headroom)))
+        increment = max(increment, 0.0)
+
+        # raise every active flow by increment * weight and charge resources
+        delta = increment * weights
+        rates[active] += delta[active]
+        if e_res.size:
+            np.subtract.at(remaining, e_res, delta[e_flow])
+
+        # freeze flows limited by a saturated constraint
+        saturated = touched & (remaining <= saturation)
+        freeze = active & (rates >= cap_freeze)
+        if saturated.any():
+            freeze[e_flow[saturated[e_res]]] = True
+        if not freeze.any():
+            # numerical safety: freeze the tightest flow to guarantee progress
+            tightness = np.where(active, caps - rates, np.inf)
+            if e_res.size:
+                np.minimum.at(tightness, e_flow, remaining[e_res])
+            freeze[int(np.argmin(tightness))] = True
+        active &= ~freeze
+    if active.any():  # pragma: no cover - the loop always terminates within the bound
+        raise SimulationError("max-min allocation did not converge")
+
+    # clamp tiny negative numerical noise
+    return np.maximum(0.0, rates)
+
+
+# -------------------------------------------------------------- scalar path
+def _allocate_scalar(
+    flows: Sequence[FlowSpec],
+    capacities: Mapping[ResourceId, float],
+) -> Dict[Hashable, float]:
+    """The historical dict-walking loop, kept as the bit-exact reference."""
     rates: Dict[Hashable, float] = {flow.flow_id: 0.0 for flow in flows}
     remaining: Dict[ResourceId, float] = dict(capacities)
     active: Dict[Hashable, FlowSpec] = {flow.flow_id: flow for flow in flows}
@@ -144,7 +308,7 @@ def weighted_max_min_allocation(
         level += increment
 
         # freeze flows limited by a saturated constraint
-        eps = 1e-12
+        eps = _EPS
         saturated_resources = {
             resource for resource, weight_sum in pressure.items()
             if remaining[resource] <= eps * max(1.0, capacities[resource])

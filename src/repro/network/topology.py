@@ -92,6 +92,23 @@ class Topology:
             caps[self.memory_resource(host)] = self.technology.memory_bandwidth
         return caps
 
+    def resource_capacity(self, resource: Hashable) -> float:
+        """Capacity of one resource identifier, in bytes per second.
+
+        Point lookup equivalent of ``capacities()[resource]`` — lets the
+        allocator price a sharing situation touching k resources in O(k)
+        instead of materialising the O(num_hosts) full dictionary.
+        """
+        if isinstance(resource, tuple) and len(resource) == 2:
+            kind, owner = resource
+            if kind in (ResourceKind.TX, ResourceKind.RX):
+                self.check_host(owner)
+                return self.technology.link_bandwidth
+            if kind == ResourceKind.MEMORY:
+                self.check_host(owner)
+                return self.technology.memory_bandwidth
+        raise TopologyError(f"unknown resource {resource!r}")
+
     def memo_key(self) -> tuple:
         """Hashable identity of the wiring and its parameters.
 
@@ -179,6 +196,15 @@ class FatTreeTopology(Topology):
             caps[(ResourceKind.UPLINK, switch)] = uplink_capacity
             caps[(ResourceKind.DOWNLINK, switch)] = uplink_capacity
         return caps
+
+    def resource_capacity(self, resource: Hashable) -> float:
+        if isinstance(resource, tuple) and len(resource) == 2:
+            kind, owner = resource
+            if kind in (ResourceKind.UPLINK, ResourceKind.DOWNLINK):
+                if not (0 <= owner < self.num_edge_switches):
+                    raise TopologyError(f"unknown resource {resource!r}")
+                return self.uplinks_per_edge * self.technology.link_bandwidth
+        return super().resource_capacity(resource)
 
     def describe(self) -> str:
         return (

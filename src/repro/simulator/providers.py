@@ -73,6 +73,13 @@ class ModelRateProvider:
         Optional ``map``-compatible callable handed to the incremental
         engine; cache-miss component evaluations of one delta are fanned
         out through it (bit-exact with serial evaluation).
+    vectorized:
+        Passed to the incremental engine: when True (default), cache-miss
+        components of one delta are priced through the model's numpy batch
+        path (:meth:`~repro.core.penalty.ContentionModel.penalties_batch`)
+        instead of a Python loop per component.  Bit-exact with the scalar
+        path.  Ignored in full-recompute mode, which keeps the historical
+        scalar whole-graph evaluation.
     """
 
     def __init__(
@@ -82,14 +89,17 @@ class ModelRateProvider:
         incremental: bool = True,
         cache: PenaltyCache | None = None,
         map_fn=None,
+        vectorized: bool = True,
     ) -> None:
         if isinstance(technology, str):
             technology = get_technology(technology)
         self.model = model
         self.technology = technology
         self.incremental = bool(incremental)
+        self.vectorized = bool(vectorized)
         self._engine: IncrementalPenaltyEngine | None = (
-            IncrementalPenaltyEngine(model, cache=cache, map_fn=map_fn)
+            IncrementalPenaltyEngine(model, cache=cache, map_fn=map_fn,
+                                     vectorized=self.vectorized)
             if self.incremental else None
         )
         # in full-recompute mode the stats only count communication

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
-import numpy as np
+from .._numpy import np
 
 from ..units import format_size, format_time
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 import networkx as nx
-import numpy as np
+from .._numpy import np
 
 from ..core.graph import CommunicationGraph
 from ..exceptions import WorkloadError

@@ -1,0 +1,98 @@
+"""Degenerate-input tests for the array water-filling path.
+
+The vectorized solver of :mod:`repro.network.sharing` must agree bit for
+bit with the scalar reference on the edge cases the array formulation is
+most likely to get wrong: empty inputs, single flows, all-infinite caps
+(an unbounded allocation), one resource shared by every flow, and weights
+spanning six orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.network.sharing import FlowSpec, max_min_allocation, weighted_max_min_allocation
+
+
+def both_paths(flows, capacities):
+    scalar = weighted_max_min_allocation(flows, capacities, vectorized=False)
+    array = weighted_max_min_allocation(flows, capacities, vectorized=True)
+    assert scalar == array
+    assert all(type(r) is float for r in array.values())
+    return array
+
+
+class TestDegenerateInputs:
+    def test_zero_flows(self):
+        assert weighted_max_min_allocation([], {"r": 100.0}, vectorized=True) == {}
+        assert weighted_max_min_allocation([], {}, vectorized=True) == {}
+
+    def test_single_capped_flow(self):
+        flows = [FlowSpec("only", ("link",), cap=30.0)]
+        rates = both_paths(flows, {"link": 100.0})
+        assert rates == {"only": 30.0}
+
+    def test_single_flow_resource_bound(self):
+        flows = [FlowSpec("only", ("link",), cap=500.0)]
+        rates = both_paths(flows, {"link": 100.0})
+        assert rates == {"only": 100.0}
+
+    def test_all_infinite_caps_no_resources(self):
+        """Flows with no constraints at all grow without bound."""
+        flows = [FlowSpec(f"f{i}", ()) for i in range(5)]
+        rates = both_paths(flows, {})
+        assert all(math.isinf(r) for r in rates.values())
+
+    def test_all_infinite_caps_resource_bound(self):
+        """Infinite per-flow caps: only the shared capacity binds."""
+        flows = [FlowSpec(f"f{i}", ("link",)) for i in range(4)]
+        rates = both_paths(flows, {"link": 100.0})
+        assert rates == {f"f{i}": pytest.approx(25.0) for i in range(4)}
+
+    def test_mixed_unbounded_and_resource_bound_flows(self):
+        flows = [
+            FlowSpec("free", ()),
+            FlowSpec("bound", ("link",)),
+        ]
+        rates = both_paths(flows, {"link": 80.0})
+        assert rates["bound"] == pytest.approx(80.0)
+        assert math.isinf(rates["free"])
+
+    def test_resource_shared_by_every_flow(self):
+        flows = [
+            FlowSpec(f"f{i}", ("shared", f"own{i}"), cap=1000.0)
+            for i in range(16)
+        ]
+        capacities = {"shared": 160.0}
+        capacities.update({f"own{i}": 1e6 for i in range(16)})
+        rates = both_paths(flows, capacities)
+        assert all(r == pytest.approx(10.0) for r in rates.values())
+
+    def test_zero_capacity_resource_freezes_its_flows(self):
+        flows = [FlowSpec("dead", ("off",)), FlowSpec("live", ("on",))]
+        rates = both_paths(flows, {"off": 0.0, "on": 50.0})
+        assert rates == {"dead": 0.0, "live": 50.0}
+
+    def test_weights_spanning_six_orders_of_magnitude(self):
+        weights = [1e-3, 1e-1, 1.0, 1e1, 1e2, 1e3]
+        flows = [
+            FlowSpec(f"f{i}", ("link",), weight=w) for i, w in enumerate(weights)
+        ]
+        rates = both_paths(flows, {"link": 1000.0})
+        # weighted max-min with one shared bottleneck: rate proportional to weight
+        total = sum(weights)
+        for i, w in enumerate(weights):
+            assert rates[f"f{i}"] == pytest.approx(1000.0 * w / total)
+
+    def test_duplicate_resource_in_one_flow_charges_twice(self):
+        flows = [FlowSpec("loop", ("link", "link"))]
+        rates = both_paths(flows, {"link": 100.0})
+        assert rates == {"loop": pytest.approx(50.0)}
+
+    def test_unweighted_wrapper_dispatches_both_paths(self):
+        flows = [FlowSpec("a", ("r",)), FlowSpec("b", ("r",))]
+        for vectorized in (None, True, False):
+            rates = max_min_allocation(flows, {"r": 10.0}, vectorized=vectorized)
+            assert rates == {"a": pytest.approx(5.0), "b": pytest.approx(5.0)}
