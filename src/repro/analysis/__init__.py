@@ -28,8 +28,10 @@ from .tables import (
     render_table,
 )
 from .timeline import (
+    StreamingTimeline,
     records_from_trace,
     timeline_bins,
+    timeline_record,
     timeline_summary,
     timeline_summary_table,
 )
@@ -60,6 +62,8 @@ __all__ = [
     "placement_robustness_table",
     "records_from_trace",
     "timeline_bins",
+    "timeline_record",
     "timeline_summary",
     "timeline_summary_table",
+    "StreamingTimeline",
 ]

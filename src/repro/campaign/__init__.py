@@ -18,11 +18,14 @@ Shell entry point: ``python -m repro campaign --spec campaign.json``.
 """
 
 from .persistence import PersistentPenaltyCache, canonical_key
+from .progress import CampaignProgress, ScenarioProgress
 from .results import CampaignResultStore, ScenarioResult
 from .runner import CampaignRunner, resolve_model
 from .spec import CampaignSpec, InterferenceSpec, ScenarioSpec, WorkloadSpec
 
 __all__ = [
+    "CampaignProgress",
+    "ScenarioProgress",
     "CampaignSpec",
     "InterferenceSpec",
     "ScenarioSpec",

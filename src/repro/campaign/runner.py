@@ -47,6 +47,7 @@ from ..core.penalty import ContentionModel, LinearCostModel
 from ..core.registry import get_model, model_for_network
 from ..exceptions import ModelError, WorkloadError
 from ..network.technologies import get_technology
+from ..obs import MetricsRegistry
 from ..simulator.engine import EngineConfig
 from ..simulator.providers import ModelRateProvider
 from ..simulator.simulator import Simulator
@@ -118,12 +119,17 @@ def _execute_app_scenario(
     cores_per_node: int,
     cache: Optional[PenaltyCache],
     trace_dir: Optional[str] = None,
+    metrics_every: int = 0,
 ) -> Tuple[ScenarioResult, Dict[str, int]]:
     """Run one application scenario through the predictive simulator.
 
     With ``trace_dir`` set the run's :mod:`repro.trace` record stream is
     written to ``<trace_dir>/<scenario_id>.jsonl`` (the directory is created
-    on demand); tracing never changes the results.
+    on demand); tracing never changes the results.  ``metrics_every > 0``
+    additionally attaches a per-scenario :class:`~repro.obs.MetricsRegistry`
+    and samples it into the trace every that many steps — opt-in, because
+    the samples carry wall-clock timings and make the trace *bytes* (never
+    the results) run-dependent.
     """
     application = scenario.build_application()
     cluster = custom_cluster(
@@ -161,7 +167,10 @@ def _execute_app_scenario(
         }))
     config = None
     if injectors or sink is not None:
-        config = EngineConfig(injectors=injectors, trace=sink)
+        metrics = (MetricsRegistry()
+                   if sink is not None and metrics_every > 0 else None)
+        config = EngineConfig(injectors=injectors, trace=sink, metrics=metrics,
+                              metrics_sample_every=max(int(metrics_every), 0))
     try:
         simulator = Simulator(
             cluster, provider, technology=cluster.technology, config=config,
@@ -191,16 +200,21 @@ def _cache_snapshot(cache: PenaltyCache) -> Tuple[bool, List[Tuple[Hashable, Dic
 
 def _app_scenario_job(
     payload: Tuple[ScenarioSpec, int, Tuple[bool, List[Tuple[Hashable, Dict]]],
-                   Optional[str]],
+                   Optional[str], int],
 ) -> Tuple[ScenarioResult, Dict[str, int], List[Tuple[Hashable, Dict]]]:
-    """Process-pool job: rebuild a worker-local cache, run, return new entries."""
-    scenario, cores_per_node, (persistent, entries), trace_dir = payload
+    """Process-pool job: rebuild a worker-local cache, run, return new entries.
+
+    ``metrics_every`` travels as a plain int (a ``MetricsRegistry`` holds a
+    lock and is not picklable); the registry is built inside the worker.
+    """
+    scenario, cores_per_node, (persistent, entries), trace_dir, metrics_every = payload
     cache: PenaltyCache = PersistentPenaltyCache() if persistent else PenaltyCache()
     for key, mapping in entries:
         # entries are already in the parent cache's keyspace: bypass re-encoding
         PenaltyCache.put(cache, key, mapping)
     result, stats = _execute_app_scenario(scenario, cores_per_node, cache,
-                                          trace_dir=trace_dir)
+                                          trace_dir=trace_dir,
+                                          metrics_every=metrics_every)
     seeded = {key for key, _ in entries}
     fresh = [(key, mapping) for key, mapping in cache.items() if key not in seeded]
     return result, stats, fresh
@@ -227,6 +241,12 @@ class CampaignRunner:
         application scenario writes ``<trace_dir>/<scenario_id>.jsonl``.
         ``None`` falls back to the spec's toggle; tracing off is the
         bit-exact default.
+    metrics_every:
+        When > 0 (and tracing is on), attach a per-scenario metrics
+        registry and emit a ``metrics.sample`` record every that many
+        engine steps — what ``repro campaign --progress`` tails.  Default
+        0 keeps the traces byte-identical across backends and runs (the
+        samples carry wall-clock timings).
     """
 
     def __init__(
@@ -236,6 +256,7 @@ class CampaignRunner:
         max_workers: int = 1,
         backend: str = "thread",
         trace_dir: Optional[str] = None,
+        metrics_every: int = 0,
     ) -> None:
         if backend not in BACKENDS:
             raise WorkloadError(
@@ -246,6 +267,7 @@ class CampaignRunner:
         self.max_workers = int(max_workers)
         self.backend = "serial" if self.max_workers <= 1 else backend
         self.trace_dir = trace_dir if trace_dir is not None else spec.trace_dir
+        self.metrics_every = int(metrics_every)
         self.stats = EngineStats()
 
     def trace_paths(self) -> List[Path]:
@@ -279,6 +301,7 @@ class CampaignRunner:
                 result, snapshot = _execute_app_scenario(
                     scenario, self.spec.cores_per_node, self.cache,
                     trace_dir=self.trace_dir,
+                    metrics_every=self.metrics_every,
                 )
                 _merge_stats(self.stats, snapshot)
             else:
@@ -327,6 +350,7 @@ class CampaignRunner:
                         lambda s: _execute_app_scenario(
                             s, self.spec.cores_per_node, self.cache,
                             trace_dir=self.trace_dir,
+                            metrics_every=self.metrics_every,
                         ),
                         [scenarios[i] for i in app_indices],
                     )
@@ -337,7 +361,7 @@ class CampaignRunner:
                     snapshot = _cache_snapshot(self.cache)
                     payloads = [
                         (scenarios[i], self.spec.cores_per_node, snapshot,
-                         self.trace_dir)
+                         self.trace_dir, self.metrics_every)
                         for i in app_indices
                     ]
                     for index, (result, stats, entries) in zip(

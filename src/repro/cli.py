@@ -14,10 +14,14 @@ Gives shell access to the three everyday operations of the library:
   with a shared — optionally disk-persistent — penalty cache;
 * ``trace`` — the structured-trace pipeline (:mod:`repro.trace`):
   ``trace record`` runs one workload and writes its per-event JSONL trace,
-  ``trace summarize`` prints the timeline report of a trace file, and
-  ``trace replay`` re-imposes a recorded interference schedule on the
-  recorded workload through :class:`repro.trace.TraceReplayInjector` and
-  checks the replay reproduces the recorded run.
+  ``trace summarize`` prints the timeline report of a trace file (``--json``
+  for the machine-readable twin of the same report), ``trace tail``
+  follows a live (still growing) trace with the streaming reader,
+  ``trace diff`` locates the first diverging record of two traces that
+  should be identical, and ``trace replay`` re-imposes a recorded
+  interference schedule on the recorded workload through
+  :class:`repro.trace.TraceReplayInjector` and checks the replay
+  reproduces the recorded run.
 
 Examples::
 
@@ -46,20 +50,27 @@ application scenario and prints a trace-summary table.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import tempfile
+import threading
+import time
 from pathlib import Path
 from typing import Optional, Sequence
 
 from .analysis import (
+    StreamingTimeline,
     interference_slowdown_table,
     placement_robustness,
     placement_robustness_table,
     render_table,
+    timeline_record,
     timeline_summary,
     timeline_summary_table,
 )
 from .benchmark import PenaltyTool
 from .campaign import (
+    CampaignProgress,
     CampaignRunner,
     CampaignSpec,
     InterferenceSpec,
@@ -75,8 +86,11 @@ from .scheme import parse_scheme
 from .simulator import EngineConfig, Simulator
 from .trace import (
     JsonlTraceSink,
+    StreamingTraceReader,
     TraceRecord,
     TraceReplayInjector,
+    diff_trace_files,
+    format_trace_diff,
     read_trace_log,
 )
 from .units import MB, parse_size
@@ -135,9 +149,22 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                   file=sys.stderr)
         elif cache.loaded_entries:
             print(f"penalty cache: {cache.loaded_entries} entries from {args.cache}")
+    trace_dir = args.trace_dir
+    metrics_every = args.metrics_every
+    if args.progress:
+        # progress is read off the per-scenario traces: make sure they exist
+        if trace_dir is None and spec.trace_dir is None:
+            trace_dir = tempfile.mkdtemp(prefix="repro-campaign-")
+            print(f"progress: tracing scenarios into {trace_dir}")
+        if metrics_every == 0:
+            metrics_every = 64  # light per-scenario metrics rollup
     runner = CampaignRunner(spec, cache=cache, max_workers=args.workers,
-                            backend=args.backend, trace_dir=args.trace_dir)
-    store = runner.run()
+                            backend=args.backend, trace_dir=trace_dir,
+                            metrics_every=metrics_every)
+    if args.progress:
+        store = _run_with_progress(runner, interval=args.progress_interval)
+    else:
+        store = runner.run()
     print(store.summary_table())
     if any(r.axes.get("interference") not in (None, "none") for r in store):
         print()
@@ -156,6 +183,16 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         f"cache hits: {stats['cache_hits']}  misses: {stats['cache_misses']}"
     )
     if args.cache:
+        cache_stats = cache.stats()
+        print(
+            "persistent cache: "
+            f"entries: {cache_stats['entries']} "
+            f"(loaded: {cache_stats['loaded_entries']}) | "
+            f"lookups: {cache_stats['lookups']}  hits: {cache_stats['hits']} "
+            f"(rate: {cache_stats['hit_rate']:.3f}) | "
+            f"evictions: {cache_stats['evictions']}  "
+            f"never hit: {cache_stats['entries_never_hit']}"
+        )
         saved = cache.save(args.cache)
         print(f"penalty cache: {saved} entries saved to {args.cache}")
     if args.out:
@@ -165,6 +202,37 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         store.to_csv(args.csv)
         print(f"CSV rows written to {args.csv}")
     return 0
+
+
+def _run_with_progress(runner: CampaignRunner, interval: float):
+    """Run a campaign while tailing its per-scenario traces.
+
+    The campaign runs on a worker thread; the calling thread polls the
+    streaming readers and prints one ``progress:`` line per interval (plus
+    a final one when the campaign ends).  Purely observational — the
+    watcher only reads the trace files the scenarios are writing.
+    """
+    progress = CampaignProgress(runner.trace_paths())
+    outcome = {}
+
+    def work() -> None:
+        try:
+            outcome["store"] = runner.run()
+        except BaseException as exc:  # noqa: BLE001 - re-raised on the main thread
+            outcome["error"] = exc
+
+    worker = threading.Thread(target=work, name="campaign", daemon=True)
+    worker.start()
+    interval = max(0.05, float(interval))
+    while worker.is_alive():
+        worker.join(timeout=interval)
+        progress.poll()
+        print(progress.format_line(), flush=True)
+    progress.poll()
+    print(progress.format_line(), flush=True)
+    if "error" in outcome:
+        raise outcome["error"]
+    return outcome["store"]
 
 
 def _campaign_trace_table(runner: CampaignRunner) -> str:
@@ -352,11 +420,70 @@ def cmd_trace_record(args: argparse.Namespace) -> int:
 
 
 def cmd_trace_summarize(args: argparse.Namespace) -> int:
-    """``repro trace summarize``: timeline report of a trace file."""
+    """``repro trace summarize``: timeline report of a trace file.
+
+    Text and ``--json`` render the *same* in-memory
+    :func:`~repro.analysis.timeline_record` bundle, so the two views cannot
+    drift apart.
+    """
     log = read_trace_log(args.trace_file)
-    print(timeline_summary_table(log, bins=args.bins,
-                                 title=f"trace timeline: {args.trace_file}"))
+    record = timeline_record(log, bins=args.bins)
+    if args.as_json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(timeline_summary_table(record=record,
+                                     title=f"trace timeline: {args.trace_file}"))
     return 0
+
+
+def cmd_trace_tail(args: argparse.Namespace) -> int:
+    """``repro trace tail``: follow a live trace with the streaming reader.
+
+    Polls the file every ``--interval`` seconds, feeding each batch into a
+    :class:`~repro.analysis.StreamingTimeline`; exits once the file has
+    been quiet for ``--timeout`` seconds (or after one poll with
+    ``--once``), then prints the timeline report of everything seen — the
+    same report ``trace summarize`` prints on the finished file.
+    """
+    reader = StreamingTraceReader(args.trace_file)
+    timeline = StreamingTimeline()
+    interval = max(0.05, float(args.interval))
+    quiet = 0.0
+    while True:
+        absorbed = timeline.feed(reader.poll())
+        if absorbed:
+            quiet = 0.0
+            summary = timeline.summary()
+            print(
+                f"tail: +{absorbed} records ({summary['records']} total) | "
+                f"steps: {summary['steps']} | "
+                f"completions: {summary['completions']} | "
+                f"peak active: {summary['peak_active_transfers']}",
+                flush=True,
+            )
+        if args.once:
+            break
+        if not absorbed:
+            quiet += interval
+            if quiet >= args.timeout:
+                break
+            time.sleep(interval)
+    print()
+    print(timeline_summary_table(record=timeline.record(bins=args.bins),
+                                 title=f"trace tail: {args.trace_file}"))
+    return 0
+
+
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    """``repro trace diff``: locate the first diverging record of two traces.
+
+    Exit code 0 when the traces are identical, 1 when they diverge (the
+    report names the diverging record, its JSONL line and the differing
+    fields, with aligned context) — usable straight from CI.
+    """
+    diff = diff_trace_files(args.trace_a, args.trace_b, context=args.context)
+    print(format_trace_diff(diff, label_a=args.trace_a, label_b=args.trace_b))
+    return 0 if diff.identical else 1
 
 
 def cmd_trace_replay(args: argparse.Namespace) -> int:
@@ -479,6 +606,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write one JSONL trace per application scenario "
                                "into this directory (overrides the spec's "
                                "trace_dir)")
+    campaign.add_argument("--progress", action="store_true",
+                          help="print live per-scenario progress (tails the "
+                               "scenario traces; enables tracing into a "
+                               "temporary directory when --trace-dir is off)")
+    campaign.add_argument("--progress-interval", type=float, default=1.0,
+                          help="seconds between progress lines (default 1.0)")
+    campaign.add_argument("--metrics-every", type=int, default=0,
+                          help="emit a metrics.sample trace record every N "
+                               "engine steps per scenario (0 = off; the "
+                               "samples carry wall-clock timings, so sampled "
+                               "traces are not byte-reproducible)")
     campaign.set_defaults(handler=cmd_campaign)
 
     def add_workload_arguments(p: argparse.ArgumentParser) -> None:
@@ -550,7 +688,32 @@ def build_parser() -> argparse.ArgumentParser:
     summarize.add_argument("trace_file", help="JSONL trace path")
     summarize.add_argument("--bins", type=int, default=10,
                            help="timeline windows (default 10)")
+    summarize.add_argument("--json", dest="as_json", action="store_true",
+                           help="print the summary + bins as JSON instead of "
+                                "the text tables (same underlying record)")
     summarize.set_defaults(handler=cmd_trace_summarize)
+
+    tail = trace_sub.add_parser(
+        "tail", help="follow a live (still growing) trace file")
+    tail.add_argument("trace_file", help="JSONL trace path (may not exist yet)")
+    tail.add_argument("--interval", type=float, default=0.5,
+                      help="seconds between polls (default 0.5)")
+    tail.add_argument("--timeout", type=float, default=10.0,
+                      help="stop after this many quiet seconds (default 10)")
+    tail.add_argument("--once", action="store_true",
+                      help="poll once and print the report (no following)")
+    tail.add_argument("--bins", type=int, default=10,
+                      help="timeline windows of the final report (default 10)")
+    tail.set_defaults(handler=cmd_trace_tail)
+
+    diff = trace_sub.add_parser(
+        "diff", help="locate the first diverging record of two traces")
+    diff.add_argument("trace_a", help="left JSONL trace path")
+    diff.add_argument("trace_b", help="right JSONL trace path")
+    diff.add_argument("--context", type=int, default=3,
+                      help="records of aligned context around the divergence "
+                           "(default 3)")
+    diff.set_defaults(handler=cmd_trace_diff)
 
     replay = trace_sub.add_parser(
         "replay",

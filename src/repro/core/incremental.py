@@ -49,6 +49,7 @@ from __future__ import annotations
 import itertools
 import threading
 from collections import OrderedDict
+from time import perf_counter
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
@@ -276,6 +277,19 @@ class IncrementalPenaltyEngine:
         #: intra-node arrivals since the last refresh (priced 1.0 on add, but
         #: still "re-priced" as far as the delta contract is concerned)
         self._fresh_intra: Set[str] = set()
+        #: repro.obs phase timer around dirty-component pricing; installed by
+        #: set_metrics(), one pointer test per refresh when absent
+        self._pricing_timer = None
+
+    def set_metrics(self, registry) -> None:
+        """Install the ``pricing.dirty_s`` phase timer from a metrics registry.
+
+        Observability hook of the :mod:`repro.obs` layer: every dirty-set
+        evaluation (whatever dispatch path it takes — scalar, batched or
+        parallel) is timed.  Pass ``None`` to uninstall.
+        """
+        self._pricing_timer = (registry.timer("pricing.dirty_s")
+                               if registry is not None else None)
 
     # ---------------------------------------------------------------- helpers
     def _resources(self, comm: Communication) -> Tuple[Hashable, ...]:
@@ -406,6 +420,16 @@ class IncrementalPenaltyEngine:
 
     def _price_dirty(self) -> None:
         """Evaluate every dirty component (through the cache) and clear the set."""
+        timer = self._pricing_timer
+        if timer is None:
+            return self._price_dirty_impl()
+        start = perf_counter()
+        try:
+            return self._price_dirty_impl()
+        finally:
+            timer.observe(perf_counter() - start)
+
+    def _price_dirty_impl(self) -> None:
         if self.map_fn is not None and self.rule is not None:
             self._price_dirty_parallel()
             return

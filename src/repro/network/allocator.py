@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from .._numpy import np
@@ -149,6 +150,28 @@ class EmulatorRateProvider:
         self._last_by_pair: Optional[Dict[Tuple[int, int], float]] = None
         #: True once an allocation exists (warm starts need a predecessor)
         self._primed = False
+        #: repro.obs phase timer around the water-fill solve; installed by
+        #: register_metrics(), one pointer test per solve when absent
+        self._solve_timer = None
+
+    def register_metrics(self, registry, name: str = "emulator") -> None:
+        """Join a :class:`repro.obs.MetricsRegistry`.
+
+        Registers the allocation cache / warm-start counters as a live
+        source under ``name`` and installs the ``waterfill.solve_s`` phase
+        timer around every allocation solve.  Pass ``None`` to uninstall
+        the timer (the source stays until re-registered or unregistered).
+        """
+        if registry is None:
+            self._solve_timer = None
+            return
+        registry.register_source(name, lambda: {
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "warm_starts": self.warm_starts,
+            "active": len(self._active),
+        })
+        self._solve_timer = registry.timer("waterfill.solve_s")
 
     def _rebuild_namespace(self) -> None:
         self._namespace = (
@@ -254,6 +277,16 @@ class EmulatorRateProvider:
         return (self._namespace, tuple(self._sorted_pairs))
 
     def _solve(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
+        timer = self._solve_timer
+        if timer is None:
+            return self._solve_impl(active)
+        start = perf_counter()
+        try:
+            return self._solve_impl(active)
+        finally:
+            timer.observe(perf_counter() - start)
+
+    def _solve_impl(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
         if self.vectorized:
             return self._solve_arrays(active)
         counts = self._directional_counts(active)

@@ -156,6 +156,7 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass
+from time import perf_counter
 from typing import (
     Callable,
     Dict,
@@ -355,6 +356,10 @@ class TransferCalendar:
         emits one ``calendar.*`` record per state change (see the module
         docstring).  ``None`` or a disabled sink costs one pointer test per
         site — the untraced paths are bit-exact.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`; when attached every
+        flush is timed into the ``calendar.flush_s`` phase timer.  Mirrors
+        the trace contract: ``None`` costs one pointer test per flush.
     """
 
     EPSILON = 1e-12
@@ -368,6 +373,7 @@ class TransferCalendar:
         delta: Optional[bool] = None,
         missing_rate: str = "error",
         trace: Optional[TraceSink] = None,
+        metrics=None,
     ) -> None:
         if missing_rate not in ("error", "zero"):
             raise SimulationError(f"unknown missing_rate policy {missing_rate!r}")
@@ -380,6 +386,7 @@ class TransferCalendar:
         self.delta = has_update if delta is None else bool(delta)
         self.missing_rate = missing_rate
         self._trace = active_sink(trace)
+        self._flush_timer = metrics.timer("calendar.flush_s") if metrics is not None else None
         self.stats = CalendarStats()
         self._flights: Dict[Hashable, _Flight] = {}
         self._heap: List[Tuple[float, int, Hashable, int]] = []
@@ -518,6 +525,16 @@ class TransferCalendar:
         delta mode, zero-rated (stalled) flights are re-rated through a
         departure+arrival cycle on every flush — see the module docstring.
         """
+        timer = self._flush_timer
+        if timer is None:
+            return self._flush(now)
+        start = perf_counter()
+        try:
+            return self._flush(now)
+        finally:
+            timer.observe(perf_counter() - start)
+
+    def _flush(self, now: float) -> None:
         if self.delta:
             if not self._pending_added and not self._pending_removed:
                 if self._stalled:
@@ -822,6 +839,12 @@ class FluidTransferSimulator:
         ``calendar.*`` records through it, the loop adds ``step`` boundaries
         and ``inject.*`` events.  ``None`` (or a disabled sink) is the
         bit-exact untraced path.
+    metrics:
+        Optional :class:`repro.obs.MetricsRegistry`.  The calendar times its
+        flush phase into it, the provider registers its stats surfaces
+        (:meth:`~repro.simulator.providers.ModelRateProvider.
+        register_metrics`) and the calendar counters join as the
+        ``calendar`` source.  ``None`` is the bit-exact unmetered path.
     """
 
     #: bytes below which a transfer is considered finished (numerical guard)
@@ -830,7 +853,8 @@ class FluidTransferSimulator:
     def __init__(self, rate_provider: RateProvider, latency: float = 0.0,
                  delta: Optional[bool] = None,
                  injectors: Sequence = (),
-                 trace: Optional[TraceSink] = None) -> None:
+                 trace: Optional[TraceSink] = None,
+                 metrics=None) -> None:
         if latency < 0:
             raise SimulationError(f"latency must be non-negative, got {latency}")
         self.rate_provider = rate_provider
@@ -838,6 +862,7 @@ class FluidTransferSimulator:
         self.delta = delta
         self.injectors = tuple(injectors)
         self.trace = active_sink(trace)
+        self.metrics = metrics
         #: calendar work counters of the most recent :meth:`run`
         self.last_calendar_stats: Optional[CalendarStatsSnapshot] = None
 
@@ -855,7 +880,13 @@ class FluidTransferSimulator:
             reset()
         trace = self.trace
         calendar = TransferCalendar(self.rate_provider, delta=self.delta,
-                                    missing_rate="error", trace=trace)
+                                    missing_rate="error", trace=trace,
+                                    metrics=self.metrics)
+        if self.metrics is not None:
+            self.metrics.register_source("calendar", calendar.stats.snapshot)
+            register = getattr(self.rate_provider, "register_metrics", None)
+            if callable(register):
+                register(self.metrics)
 
         state: Optional[_FluidInjectionState] = None
         inject_heap: List[Tuple[float, int]] = []

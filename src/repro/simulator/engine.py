@@ -111,6 +111,16 @@ class EngineConfig:
     #: emits structured per-event records through; ``None`` = untraced,
     #: bit-exact with the pre-trace engine
     trace: Optional[TraceSink] = field(default=None, compare=False, repr=False)
+    #: optional :class:`repro.obs.MetricsRegistry`; attaching one registers
+    #: the engine/calendar/provider stats as live sources and times the hot
+    #: phases (calendar flush, dirty pricing, water-fill).  ``None`` =
+    #: unmetered, bit-exact (one pointer test per site, like ``trace``)
+    metrics: Optional[object] = field(default=None, compare=False, repr=False)
+    #: emit one ``metrics.sample`` trace record every this many steps (needs
+    #: both ``metrics`` and ``trace`` attached); 0 disables sampling.  The
+    #: samples carry wall-clock timer values, so a sampled trace is not
+    #: byte-reproducible across runs — the simulated results still are
+    metrics_sample_every: int = 256
 
     def __post_init__(self) -> None:
         if self.eager_threshold < 0:
@@ -119,6 +129,8 @@ class EngineConfig:
             raise SimulationError("compute_efficiency must be in (0, 1]")
         if self.default_flops_per_core <= 0:
             raise SimulationError("default_flops_per_core must be positive")
+        if self.metrics_sample_every < 0:
+            raise SimulationError("metrics_sample_every must be non-negative")
         object.__setattr__(self, "injectors", tuple(self.injectors))
 
 
@@ -475,6 +487,13 @@ class ExecutionEngine:
         self._timeline_seq = itertools.count()
         self._calendar: Optional[TransferCalendar] = None
         self._trace = active_sink(self.config.trace)
+        self._metrics = self.config.metrics
+        # sampling needs both a sink (to emit through) and a registry (to
+        # snapshot); the untraced/unmetered paths keep a single falsy test
+        self._sample_every = (
+            self.config.metrics_sample_every
+            if self._trace is not None and self._metrics is not None else 0
+        )
         self.stats = EngineLoopStats()
 
     # -------------------------------------------------------------- utilities
@@ -851,7 +870,21 @@ class ExecutionEngine:
             delta=None if self.config.delta_rates else False,
             missing_rate="zero",
             trace=self._trace,
+            metrics=self._metrics,
         )
+        if self._metrics is not None:
+            metrics = self._metrics
+            stats = self.stats
+            metrics.register_source("engine", lambda: {
+                "iterations": stats.iterations,
+                "steps": stats.steps,
+                "injected_events": stats.injected_events,
+                "background_flows": stats.background_flows,
+            })
+            metrics.register_source("calendar", self._calendar.stats.snapshot)
+            register = getattr(self.rate_provider, "register_metrics", None)
+            if callable(register):
+                register(metrics)
         self._background.clear()
         self._compute_scales.clear()
         if self.config.injectors:
@@ -910,6 +943,9 @@ class ExecutionEngine:
             if self._trace is not None:
                 self._trace.emit(TraceRecord(self.now, "step", "engine",
                                              {"step": self.stats.steps}))
+                if (self._sample_every
+                        and self.stats.steps % self._sample_every == 0):
+                    self._trace.emit(self._metrics.sample_record(self.now))
             self._complete_due_events()
 
         self.stats.calendar = self._calendar.stats.snapshot()

@@ -118,6 +118,25 @@ class ModelRateProvider:
             return self._engine.stats
         return self._full_stats
 
+    def register_metrics(self, registry, name: str = "pricing") -> None:
+        """Join a :class:`repro.obs.MetricsRegistry`.
+
+        Registers the engine work counters as a live source under ``name``
+        and (in incremental mode) installs the ``pricing.dirty_s`` phase
+        timer around dirty-component evaluation.  Pass ``None`` to
+        uninstall the timer.
+        """
+        if registry is None:
+            if self._engine is not None:
+                self._engine.set_metrics(None)
+            return
+        registry.register_source(name, lambda: self.stats.snapshot())
+        if self._engine is not None:
+            self._engine.set_metrics(registry)
+            if self._engine.cache is not None:
+                registry.register_source("penalty_cache",
+                                         self._engine.cache.stats)
+
     @staticmethod
     def _comm_size(transfer: Transfer) -> int:
         # round *up*: a sub-byte fractional remainder must not truncate to a

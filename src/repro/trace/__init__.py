@@ -66,7 +66,11 @@ kind                       meaning / payload
 ``app.send``               of :mod:`repro.workloads.traces`): one record per
 ``app.recv``               program event, subject = rank (``"*"`` for global
 ``app.barrier``            barriers), payloads mirror the event fields
+``metrics.sample``         periodic :class:`repro.obs.MetricsRegistry`
+                           snapshot; payload = flat ``{name: number}`` dict
 ========================== ====================================================
+
+The full payload schemas are tabulated in ``docs/trace-format.md``.
 
 Sink contract
 -------------
@@ -101,6 +105,12 @@ loaded run's own trace reproduces it bit-exactly (the ROADMAP's
 "trace-driven interference").  :mod:`repro.analysis.timeline` and
 :mod:`repro.analysis.placement` consume the same records for timeline and
 placement-robustness reports.
+
+Live observability sits on the same pipeline: :class:`StreamingTraceReader`
+tails a growing JSONL file incrementally (``repro trace tail``, ``repro
+campaign --progress``), and :func:`trace_diff` /
+:func:`assert_traces_equal` localise the first diverging record when two
+traces that should be identical are not (``repro trace diff``).
 """
 
 from .records import (
@@ -120,6 +130,14 @@ from .sinks import (
     read_trace_log,
 )
 from .replay import TraceReplayInjector, replay_events
+from .stream import StreamingTraceReader
+from .diff import (
+    TraceDiff,
+    assert_traces_equal,
+    diff_trace_files,
+    format_trace_diff,
+    trace_diff,
+)
 
 __all__ = [
     "TRACE_FORMAT",
@@ -136,4 +154,10 @@ __all__ = [
     "read_trace_log",
     "TraceReplayInjector",
     "replay_events",
+    "StreamingTraceReader",
+    "TraceDiff",
+    "trace_diff",
+    "diff_trace_files",
+    "format_trace_diff",
+    "assert_traces_equal",
 ]

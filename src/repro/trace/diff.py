@@ -1,0 +1,186 @@
+"""Structural diff of two traces: locate the first diverging record.
+
+Two traces of the same scenario are supposed to be identical record for
+record (tracing is deterministic, and replay / backend-parity properties
+assert it).  When they are not, dumping both files helps nobody — what the
+developer needs is *where* they fork.  :func:`trace_diff` walks both record
+sequences in lockstep and reports the first index at which they differ,
+with the differing fields named and a few records of aligned context;
+:func:`format_trace_diff` renders that as the localized report ``repro
+trace diff`` prints, and :func:`assert_traces_equal` raises it as an
+``AssertionError`` so the bit-exactness property suites fail with the
+divergence, not with two opaque record lists.
+
+Record index ``k`` (0-based over records) lives on line ``k + 2`` of the
+JSONL file — line 1 is the container header.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple, Union
+
+from .records import TraceRecord
+from .sinks import read_trace_log
+
+__all__ = [
+    "TraceDiff",
+    "trace_diff",
+    "diff_trace_files",
+    "format_trace_diff",
+    "assert_traces_equal",
+]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class TraceDiff:
+    """Outcome of comparing two record sequences.
+
+    ``index`` is the first diverging record position (``None`` when the
+    traces are identical).  ``reason`` is ``"identical"``, ``"record"`` (a
+    record at ``index`` differs field-wise) or ``"length"`` (one trace is a
+    strict prefix of the other and ends at ``index``).
+    """
+
+    index: Optional[int]
+    reason: str
+    counts: Tuple[int, int]
+    #: differing top-level fields at the divergence ("t", "kind", "subject",
+    #: "data.<key>"); empty for length divergences
+    fields: Tuple[str, ...] = ()
+    left: Optional[TraceRecord] = None
+    right: Optional[TraceRecord] = None
+    #: shared prefix records immediately before the divergence
+    common: Tuple[TraceRecord, ...] = ()
+    #: records following the divergence on each side
+    after_left: Tuple[TraceRecord, ...] = ()
+    after_right: Tuple[TraceRecord, ...] = ()
+
+    @property
+    def identical(self) -> bool:
+        return self.index is None
+
+    @property
+    def line(self) -> Optional[int]:
+        """1-based JSONL line number of the divergence (header is line 1)."""
+        return None if self.index is None else self.index + 2
+
+
+def _as_records(trace: Iterable[TraceRecord]) -> List[TraceRecord]:
+    return trace if isinstance(trace, list) else list(trace)
+
+
+def _diff_fields(a: TraceRecord, b: TraceRecord) -> Tuple[str, ...]:
+    out: List[str] = []
+    if a.time != b.time:
+        out.append("t")
+    if a.kind != b.kind:
+        out.append("kind")
+    if a.subject != b.subject:
+        out.append("subject")
+    if a.data != b.data:
+        for key in sorted(set(a.data) | set(b.data)):
+            if a.data.get(key, _MISSING) != b.data.get(key, _MISSING):
+                out.append(f"data.{key}")
+    return tuple(out)
+
+
+def trace_diff(a: Iterable[TraceRecord], b: Iterable[TraceRecord],
+               context: int = 3) -> TraceDiff:
+    """Compare two record sequences; report the first divergence.
+
+    Accepts :class:`~repro.trace.TraceLog` objects or any record iterables.
+    ``context`` bounds the records kept around the divergence for the
+    report.
+    """
+    left = _as_records(a)
+    right = _as_records(b)
+    counts = (len(left), len(right))
+    shared = min(counts)
+    for index in range(shared):
+        if left[index] != right[index]:
+            return TraceDiff(
+                index=index,
+                reason="record",
+                counts=counts,
+                fields=_diff_fields(left[index], right[index]),
+                left=left[index],
+                right=right[index],
+                common=tuple(left[max(0, index - context):index]),
+                after_left=tuple(left[index + 1:index + 1 + context]),
+                after_right=tuple(right[index + 1:index + 1 + context]),
+            )
+    if counts[0] != counts[1]:
+        index = shared
+        return TraceDiff(
+            index=index,
+            reason="length",
+            counts=counts,
+            left=left[index] if index < counts[0] else None,
+            right=right[index] if index < counts[1] else None,
+            common=tuple(left[max(0, index - context):index]),
+            after_left=tuple(left[index + 1:index + 1 + context]),
+            after_right=tuple(right[index + 1:index + 1 + context]),
+        )
+    return TraceDiff(index=None, reason="identical", counts=counts)
+
+
+def diff_trace_files(path_a: Union[str, Path], path_b: Union[str, Path],
+                     context: int = 3) -> TraceDiff:
+    """:func:`trace_diff` over two JSONL trace files (headers validated)."""
+    return trace_diff(read_trace_log(path_a), read_trace_log(path_b),
+                      context=context)
+
+
+def _render(record: Optional[TraceRecord]) -> str:
+    if record is None:
+        return "<end of trace>"
+    return json.dumps(record.to_dict(), sort_keys=True)
+
+
+def format_trace_diff(diff: TraceDiff, label_a: str = "a",
+                      label_b: str = "b") -> str:
+    """Human-readable localized report of a :class:`TraceDiff`."""
+    if diff.identical:
+        return f"traces identical: {diff.counts[0]} records"
+    lines = [
+        f"first divergence at record {diff.index} (line {diff.line})",
+        f"  a: {label_a} ({diff.counts[0]} records)",
+        f"  b: {label_b} ({diff.counts[1]} records)",
+    ]
+    if diff.reason == "length":
+        shorter = "a" if diff.counts[0] < diff.counts[1] else "b"
+        lines.append(
+            f"  trace {shorter} ends here; the other continues"
+        )
+    elif diff.fields:
+        lines.append(f"  differing fields: {', '.join(diff.fields)}")
+    start = diff.index - len(diff.common)
+    for offset, record in enumerate(diff.common):
+        lines.append(f"      record {start + offset}  {_render(record)}")
+    lines.append(f"  a-> record {diff.index}  {_render(diff.left)}")
+    lines.append(f"  b-> record {diff.index}  {_render(diff.right)}")
+    for offset, record in enumerate(diff.after_left, start=diff.index + 1):
+        lines.append(f"  a:  record {offset}  {_render(record)}")
+    for offset, record in enumerate(diff.after_right, start=diff.index + 1):
+        lines.append(f"  b:  record {offset}  {_render(record)}")
+    return "\n".join(lines)
+
+
+def assert_traces_equal(a: Iterable[TraceRecord], b: Iterable[TraceRecord],
+                        label_a: str = "a", label_b: str = "b",
+                        context: int = 3) -> None:
+    """Raise an ``AssertionError`` carrying the localized diff report.
+
+    The property-test harness hook: comparing two traces through this turns
+    a bit-exactness failure into "first divergence at record k" instead of
+    two multi-thousand-record reprs.
+    """
+    diff = trace_diff(a, b, context=context)
+    if not diff.identical:
+        raise AssertionError(format_trace_diff(diff, label_a=label_a,
+                                               label_b=label_b))

@@ -56,6 +56,7 @@ KNOWN_KINDS: Tuple[str, ...] = (
     "app.send",
     "app.recv",
     "app.barrier",
+    "metrics.sample",
 )
 
 

@@ -9,7 +9,9 @@ files) and MPE-style application containers
 
 from __future__ import annotations
 
+import atexit
 import json
+import weakref
 from collections import deque
 from pathlib import Path
 from typing import Deque, Iterable, Iterator, List, Optional, Protocol, Union
@@ -116,6 +118,22 @@ class _ClosedSinkBuffer:
         return False
 
 
+#: every open JsonlTraceSink, so buffered records can be flushed if the
+#: process exits without close() running (sys.exit deep in a run, an
+#: unhandled exception above the sink's owner, ...).  Weak references: a
+#: sink that is closed or garbage-collected drops out on its own.
+_OPEN_JSONL_SINKS: "weakref.WeakSet[JsonlTraceSink]" = weakref.WeakSet()
+
+
+@atexit.register
+def _flush_open_sinks() -> None:
+    for sink in list(_OPEN_JSONL_SINKS):
+        try:
+            sink.close()
+        except Exception:  # noqa: BLE001 - interpreter teardown must not raise
+            pass
+
+
 class JsonlTraceSink:
     """File sink: header line plus one JSON object per record.
 
@@ -126,6 +144,11 @@ class JsonlTraceSink:
     ``flush_every`` records.  The file is opened eagerly so a bad path
     fails at construction, not at the first event deep inside a run;
     :meth:`close` is idempotent and also runs on context-manager exit.
+
+    Buffered records are not lost on abnormal exit: an ``atexit`` hook
+    closes every still-open sink, and garbage collection of an unclosed
+    sink triggers a best-effort close — so a trace written by a run that
+    died between flushes still ends on a complete record boundary.
     """
 
     enabled = True
@@ -147,6 +170,7 @@ class JsonlTraceSink:
         )
         self._buffer: List[TraceRecord] = []
         self._written = 0
+        _OPEN_JSONL_SINKS.add(self)
 
     @property
     def emitted(self) -> int:
@@ -162,13 +186,20 @@ class JsonlTraceSink:
             self.flush()
 
     def flush(self) -> None:
-        """Serialise and write the buffered records."""
+        """Serialise and write the buffered records (through to the OS).
+
+        The handle flush makes every flushed batch visible to live tailers
+        (:class:`~repro.trace.StreamingTraceReader`, ``repro trace tail``)
+        at record-boundary granularity — one syscall per ``flush_every``
+        records, not per record.
+        """
         if self._handle is None or not self._buffer:
             return
         dumps = json.dumps
         self._handle.write(
             "\n".join(dumps(record.to_dict()) for record in self._buffer) + "\n"
         )
+        self._handle.flush()
         self._written += len(self._buffer)
         self._buffer.clear()
 
@@ -178,12 +209,19 @@ class JsonlTraceSink:
             self._handle.close()
             self._handle = None
             self._buffer = _ClosedSinkBuffer(self.path)
+            _OPEN_JSONL_SINKS.discard(self)
 
     def __enter__(self) -> "JsonlTraceSink":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - never raise from a finalizer
+            pass
 
 
 def iter_trace_records(source: Union[str, Path]) -> Iterator[TraceRecord]:

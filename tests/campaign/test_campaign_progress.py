@@ -1,0 +1,105 @@
+"""Campaign progress tracking off the per-scenario trace files."""
+
+from __future__ import annotations
+
+from repro.campaign import CampaignProgress, CampaignRunner, CampaignSpec
+from repro.trace import read_trace_log
+from repro.trace.records import TraceRecord
+
+
+def spec_dict(trace_dir, metrics=False):
+    return {
+        "name": "progress-campaign",
+        "workloads": [
+            {"kind": "collective", "name": "broadcast", "params": {"size": "1M"}},
+        ],
+        "host_counts": [4],
+        "interference": [
+            "none",
+            {"name": "bg",
+             "background": {"rate": 150, "size": "2M", "max_flows": 4}},
+        ],
+        "trace_dir": trace_dir,
+    }
+
+
+class TestScenarioProgress:
+    def feed(self, progress, *records):
+        progress.feed(records)
+
+    def test_run_meta_announces_the_task_total(self, tmp_path):
+        progress = CampaignProgress([tmp_path / "s.jsonl"]).scenarios[0]
+        assert not progress.started and not progress.complete
+        self.feed(progress, TraceRecord(0.0, "run.meta", None, {"tasks": 3}))
+        assert progress.started
+        assert progress.tasks_total == 3 and progress.tasks_done == 0
+
+    def test_done_states_are_counted_once_per_rank(self, tmp_path):
+        progress = CampaignProgress([tmp_path / "s.jsonl"]).scenarios[0]
+        self.feed(progress,
+                  TraceRecord(0.0, "run.meta", None, {"tasks": 2}),
+                  TraceRecord(0.5, "task.state", 0, {"status": "done"}),
+                  TraceRecord(0.6, "task.state", 0, {"status": "done"}),
+                  TraceRecord(0.7, "task.state", 1, {"status": "send"}))
+        assert progress.tasks_done == 1 and not progress.complete
+        self.feed(progress, TraceRecord(0.9, "task.state", 1, {"status": "done"}))
+        assert progress.tasks_done == 2 and progress.complete
+
+    def test_latest_metrics_sample_is_retained(self, tmp_path):
+        progress = CampaignProgress([tmp_path / "s.jsonl"]).scenarios[0]
+        self.feed(progress,
+                  TraceRecord(0.1, "metrics.sample", None, {"engine.steps": 2}),
+                  TraceRecord(0.2, "metrics.sample", None, {"engine.steps": 9}))
+        assert progress.sample == {"engine.steps": 9}
+
+
+class TestCampaignProgress:
+    def test_polling_before_the_files_exist_is_quiet(self, tmp_path):
+        progress = CampaignProgress([tmp_path / "a.jsonl", tmp_path / "b.jsonl"])
+        assert progress.poll() == 0
+        assert progress.completed == 0
+        line = progress.format_line()
+        assert line.startswith("progress: 0/2 scenarios complete")
+
+    def test_a_finished_campaign_reads_as_complete(self, tmp_path):
+        spec = CampaignSpec.from_dict(spec_dict(str(tmp_path / "traces")))
+        runner = CampaignRunner(spec)
+        runner.run()
+        progress = CampaignProgress(runner.trace_paths())
+        progress.poll()
+        assert progress.completed == len(progress.scenarios) == 2
+        assert progress.total_records == sum(
+            len(read_trace_log(path)) for path in runner.trace_paths())
+        rollup = progress.rollup()
+        assert rollup["started"] == rollup["scenarios"] == 2
+        assert rollup["tasks_done"] == rollup["tasks_total"] == 8
+        assert "scenarios complete" in progress.format_line()
+        assert progress.poll() == 0  # drained
+
+    def test_metered_campaign_surfaces_flush_counters(self, tmp_path):
+        spec = CampaignSpec.from_dict(spec_dict(str(tmp_path / "traces")))
+        runner = CampaignRunner(spec, metrics_every=1)
+        runner.run()
+        for path in runner.trace_paths():
+            assert read_trace_log(path).kinds()["metrics.sample"] > 0
+        progress = CampaignProgress(runner.trace_paths())
+        progress.poll()
+        assert all(p.sample for p in progress.scenarios)
+        line = progress.format_line()
+        assert "flushes:" in line and "flush time:" in line
+
+    def test_an_unreadable_trace_never_kills_the_watcher(self, tmp_path):
+        good = tmp_path / "good.jsonl"
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json at all\n")
+        progress = CampaignProgress([good, bad])
+        assert progress.poll() == 0  # the TraceError is swallowed per-scenario
+
+
+class TestMetricsDoNotPerturb:
+    def test_metered_campaign_results_equal_unmetered(self, tmp_path):
+        plain_spec = CampaignSpec.from_dict(spec_dict(str(tmp_path / "plain")))
+        metered_spec = CampaignSpec.from_dict(spec_dict(str(tmp_path / "metered")))
+        plain = CampaignRunner(plain_spec).run()
+        metered = CampaignRunner(metered_spec, metrics_every=8).run()
+        assert [r.to_dict() for r in metered] == [r.to_dict() for r in plain]

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.campaign import CampaignRunner, CampaignSpec
-from repro.trace import read_trace_log
+from repro.trace import assert_traces_equal, read_trace_log
 
 
 def spec_dict(trace_dir=None):
@@ -104,5 +104,11 @@ class TestRunnerTracing:
         parallel_files = sorted(p.name for p in parallel_dir.glob("*.jsonl"))
         assert serial_files == parallel_files
         for name in serial_files:
+            # record-level first: a failure localizes to the first diverging
+            # record instead of two opaque file dumps
+            assert_traces_equal(read_trace_log(serial_dir / name),
+                                read_trace_log(parallel_dir / name),
+                                label_a=f"serial/{name}",
+                                label_b=f"{backend}/{name}")
             assert (serial_dir / name).read_text() == \
                 (parallel_dir / name).read_text()

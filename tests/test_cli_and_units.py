@@ -199,3 +199,93 @@ class TestTraceCli:
         assert "trace summary: 2 scenario traces" in out
         assert "placement robustness" in out
         assert len(list(trace_dir.glob("*.jsonl"))) == 2
+
+
+class TestObservabilityCli:
+    def record_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "run.jsonl"
+        assert main(["trace", "record", "--workload", "broadcast",
+                     "--hosts", "4", "--bg-rate", "120", "--bg-max-flows", "3",
+                     "--out", str(trace_path)]) == 0
+        capsys.readouterr()
+        return trace_path
+
+    def test_summarize_json_matches_the_text_view(self, tmp_path, capsys):
+        import json
+
+        trace_path = self.record_trace(tmp_path, capsys)
+        assert main(["trace", "summarize", str(trace_path), "--json",
+                     "--bins", "5"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert set(record) == {"summary", "bins"}
+        assert len(record["bins"]) == 5
+        assert main(["trace", "summarize", str(trace_path), "--bins", "5"]) == 0
+        text = capsys.readouterr().out
+        # both views are rendered from the same in-memory record
+        assert f"records: {record['summary']['records']}" in text
+        assert "trace timeline" in text
+
+    def test_tail_once_reports_and_summarizes(self, tmp_path, capsys):
+        trace_path = self.record_trace(tmp_path, capsys)
+        code = main(["trace", "tail", str(trace_path), "--once"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tail: +" in out
+        assert "trace tail:" in out  # the final timeline table
+
+    def test_diff_identical_traces_exits_zero(self, tmp_path, capsys):
+        trace_path = self.record_trace(tmp_path, capsys)
+        code = main(["trace", "diff", str(trace_path), str(trace_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "traces identical" in out
+
+    def test_diff_localizes_a_perturbed_record(self, tmp_path, capsys):
+        import json
+
+        trace_path = self.record_trace(tmp_path, capsys)
+        lines = trace_path.read_text().splitlines()
+        record = json.loads(lines[6])  # record 5 (line 7: header + 5 before)
+        record["t"] = record.get("t", 0.0) + 123.0
+        lines[6] = json.dumps(record)
+        perturbed = tmp_path / "perturbed.jsonl"
+        perturbed.write_text("\n".join(lines) + "\n")
+        code = main(["trace", "diff", str(trace_path), str(perturbed)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "first divergence at record 5 (line 7)" in out
+        assert "differing fields: t" in out
+
+    def campaign_spec(self, tmp_path):
+        import json
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "name": "cli-progress",
+            "workloads": [{"kind": "collective", "name": "broadcast",
+                           "params": {"size": "1M"}}],
+            "host_counts": [4],
+            "interference": ["none"],
+        }))
+        return spec_path
+
+    def test_campaign_progress_prints_progress_lines(self, tmp_path, capsys):
+        code = main(["campaign", "--spec", str(self.campaign_spec(tmp_path)),
+                     "--trace-dir", str(tmp_path / "traces"),
+                     "--progress", "--progress-interval", "0.1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "progress:" in out
+        assert "1/1 scenarios complete" in out
+
+    def test_campaign_metrics_every_samples_into_the_trace(self, tmp_path, capsys):
+        from repro.trace import read_trace_log
+
+        trace_dir = tmp_path / "traces"
+        code = main(["campaign", "--spec", str(self.campaign_spec(tmp_path)),
+                     "--trace-dir", str(trace_dir), "--metrics-every", "1"])
+        assert code == 0
+        capsys.readouterr()
+        trace_file = next(iter(trace_dir.glob("*.jsonl")))
+        kinds = read_trace_log(trace_file).kinds()
+        assert kinds["metrics.sample"] > 0

@@ -1,0 +1,185 @@
+"""Streaming trace reader: edge cases and streaming == batch equivalence."""
+
+from __future__ import annotations
+
+import json
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.analysis import StreamingTimeline, timeline_bins, timeline_summary
+from repro.exceptions import TraceError
+from repro.trace import (
+    TRACE_FORMAT,
+    TRACE_VERSION,
+    JsonlTraceSink,
+    StreamingTraceReader,
+    TraceRecord,
+    read_trace_log,
+)
+
+HEADER = json.dumps({"format": TRACE_FORMAT, "version": TRACE_VERSION}) + "\n"
+
+
+def record_line(index: int, kind: str = "calendar.complete") -> str:
+    return json.dumps({"t": 0.1 * index, "kind": kind, "subject": index}) + "\n"
+
+
+class TestEdgeCases:
+    def test_missing_file_is_nothing_yet(self, tmp_path):
+        reader = StreamingTraceReader(tmp_path / "not-written-yet.jsonl")
+        assert reader.poll() == []
+        assert not reader.header_seen
+
+    def test_empty_file_is_nothing_yet(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_bytes(b"")
+        reader = StreamingTraceReader(path)
+        assert reader.poll() == []
+        assert not reader.header_seen
+
+    def test_header_only_file_is_a_valid_zero_event_trace(self, tmp_path):
+        path = tmp_path / "header.jsonl"
+        path.write_text(HEADER)
+        reader = StreamingTraceReader(path)
+        assert reader.poll() == []
+        assert reader.header_seen
+        assert reader.header["version"] == TRACE_VERSION
+
+    def test_partial_trailing_line_is_buffered_until_complete(self, tmp_path):
+        path = tmp_path / "partial.jsonl"
+        line = record_line(0)
+        path.write_text(HEADER + line[:10])  # record cut mid-JSON
+        reader = StreamingTraceReader(path)
+        assert reader.poll() == []  # incomplete tail: not an error, not a record
+        with path.open("a") as handle:
+            handle.write(line[10:])
+        (record,) = reader.poll()
+        assert record == TraceRecord(0.0, "calendar.complete", 0)
+
+    def test_record_written_across_many_polls(self, tmp_path):
+        """Appending byte by byte: the record surfaces exactly once, when its
+        newline lands."""
+        path = tmp_path / "drip.jsonl"
+        path.write_text(HEADER)
+        reader = StreamingTraceReader(path)
+        assert reader.poll() == []
+        line = record_line(7, kind="calendar.activate").encode()
+        for offset in range(len(line)):
+            with path.open("ab") as handle:
+                handle.write(line[offset:offset + 1])
+            records = reader.poll()
+            if offset < len(line) - 1:
+                assert records == []
+            else:
+                assert [r.subject for r in records] == [7]
+        assert reader.records_read == 1
+
+    def test_header_split_across_polls(self, tmp_path):
+        path = tmp_path / "split-header.jsonl"
+        path.write_text(HEADER[:8])
+        reader = StreamingTraceReader(path)
+        assert reader.poll() == []
+        assert not reader.header_seen
+        with path.open("a") as handle:
+            handle.write(HEADER[8:] + record_line(1))
+        assert len(reader.poll()) == 1
+        assert reader.header_seen
+
+    def test_bad_header_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"format": "not-a-trace"}) + "\n")
+        with pytest.raises(TraceError, match="header"):
+            StreamingTraceReader(path).poll()
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(json.dumps({"format": TRACE_FORMAT,
+                                    "version": TRACE_VERSION + 1}) + "\n")
+        with pytest.raises(TraceError, match="version"):
+            StreamingTraceReader(path).poll()
+
+    def test_malformed_complete_line_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "garbage.jsonl"
+        path.write_text(HEADER + record_line(0) + "{not json}\n")
+        reader = StreamingTraceReader(path)
+        with pytest.raises(TraceError, match="line 3"):
+            reader.poll()
+
+    def test_shrunk_file_raises(self, tmp_path):
+        path = tmp_path / "shrink.jsonl"
+        path.write_text(HEADER + record_line(0) + record_line(1))
+        reader = StreamingTraceReader(path)
+        assert len(reader.poll()) == 2
+        path.write_text(HEADER)  # truncation/rotation mid-tail
+        with pytest.raises(TraceError, match="shrank"):
+            reader.poll()
+
+
+class TestAgainstTheSink:
+    def test_tailing_across_flush_every_boundaries(self, tmp_path):
+        """A sink flushing every 2 records: polls between emits see exactly
+        the flushed records, and close() surfaces the buffered remainder."""
+        path = tmp_path / "flushed.jsonl"
+        sink = JsonlTraceSink(path, flush_every=2)
+        reader = StreamingTraceReader(path)
+        seen = []
+        for index in range(5):
+            sink.emit(TraceRecord(0.1 * index, "calendar.complete", index))
+            seen.extend(reader.poll())
+        # 5 emits, flushes after #2 and #4: one record still buffered
+        assert [r.subject for r in seen] == [0, 1, 2, 3]
+        sink.close()
+        seen.extend(reader.poll())
+        assert [r.subject for r in seen] == [0, 1, 2, 3, 4]
+        assert seen == read_trace_log(path).records
+
+    def test_streaming_a_finished_trace_equals_the_batch_read(self, tmp_path):
+        path = tmp_path / "full.jsonl"
+        with JsonlTraceSink(path) as sink:
+            for index in range(20):
+                sink.emit(TraceRecord(0.05 * index, "calendar.activate", index,
+                                      {"src": 0, "dst": 1, "size": 1.0}))
+        reader = StreamingTraceReader(path)
+        assert reader.poll() == read_trace_log(path).records
+        assert reader.poll() == []  # drained
+
+
+KINDS = ["calendar.activate", "calendar.complete", "calendar.cancel",
+         "calendar.flush", "calendar.retime", "inject.apply", "task.event",
+         "step"]
+
+trace_strategy = st.lists(
+    st.tuples(st.floats(0.0, 10.0, allow_nan=False), st.sampled_from(KINDS)),
+    max_size=40,
+)
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(events=trace_strategy, data=st.data())
+def test_streaming_timeline_equals_batch_timeline(events, data):
+    """Fed the same records in arbitrary batch splits, StreamingTimeline's
+    summary and bins are identical to the batch functions' — the ISSUE's
+    streaming-equals-batch acceptance property."""
+    times = sorted(time for time, _ in events)
+    records = [TraceRecord(time, kind, index)
+               for index, (time, (_, kind)) in enumerate(zip(times, events))]
+    timeline = StreamingTimeline()
+    remaining = list(records)
+    while remaining:
+        cut = data.draw(st.integers(1, len(remaining)))
+        timeline.feed(remaining[:cut])
+        remaining = remaining[cut:]
+    assert timeline.records == len(records)
+    assert timeline.summary() == timeline_summary(records)
+    for bins in (1, 3, 10):
+        assert timeline.bins(bins) == timeline_bins(records, bins=bins)
+
+
+def test_streaming_timeline_rejects_zero_bins():
+    timeline = StreamingTimeline()
+    timeline.feed([TraceRecord(0.0, "step", "engine", {"step": 0})])
+    with pytest.raises(TraceError):
+        timeline.bins(0)

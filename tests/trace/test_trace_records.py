@@ -58,6 +58,9 @@ def sample_record(kind: str, index: int) -> TraceRecord:
         "app.send": (0, {"dst": 1, "size": 1048576, "tag": 7}),
         "app.recv": (1, {"src": None, "size": None, "tag": 7}),
         "app.barrier": (2, {}),
+        "metrics.sample": (None, {"engine.steps": 80,
+                                  "calendar.flush_s.count": 80,
+                                  "calendar.flush_s.total": 0.004}),
     }
     subject, data = payloads[kind]
     return TraceRecord(time=0.125 * index, kind=kind, subject=subject, data=data)
@@ -216,3 +219,48 @@ class TestSinks:
     def test_bad_path_fails_at_construction(self, tmp_path):
         with pytest.raises(TraceError):
             JsonlTraceSink(tmp_path / "no" / "such" / "dir" / "t.jsonl")
+
+
+class TestAbnormalExit:
+    """Buffered records survive a process that never reaches close()."""
+
+    def run_python(self, source: str) -> None:
+        import os
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+
+        env = dict(os.environ)
+        src_root = str(Path(repro.__file__).parents[1])
+        env["PYTHONPATH"] = src_root + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.run([sys.executable, "-c", source], env=env,
+                              capture_output=True, text=True)
+        assert proc.returncode == 3, proc.stderr
+
+    def test_atexit_flushes_an_unclosed_sink(self, tmp_path):
+        path = tmp_path / "died.jsonl"
+        self.run_python(
+            "from repro.trace import JsonlTraceSink, TraceRecord\n"
+            f"sink = JsonlTraceSink({str(path)!r})\n"
+            "for i in range(5):\n"
+            "    sink.emit(TraceRecord(float(i), 'calendar.complete', i))\n"
+            "raise SystemExit(3)\n"  # leaves the buffer unflushed
+        )
+        log = read_trace_log(path)
+        assert [r.subject for r in log] == [0, 1, 2, 3, 4]
+
+    def test_atexit_flush_lands_on_a_record_boundary(self, tmp_path):
+        """A run that dies mid-buffer still leaves a batch-readable file —
+        complete trailing record, no partial line."""
+        path = tmp_path / "died-mid-flush.jsonl"
+        self.run_python(
+            "from repro.trace import JsonlTraceSink, TraceRecord\n"
+            f"sink = JsonlTraceSink({str(path)!r}, flush_every=3)\n"
+            "for i in range(7):\n"  # flushes at 3 and 6; one record buffered
+            "    sink.emit(TraceRecord(float(i), 'step', 'engine', {'step': i}))\n"
+            "raise SystemExit(3)\n"
+        )
+        assert path.read_text().endswith("\n")
+        assert len(read_trace_log(path)) == 7
