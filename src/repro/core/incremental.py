@@ -53,6 +53,7 @@ from time import perf_counter
 from dataclasses import dataclass
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
 
+from .._numpy import np
 from ..exceptions import GraphError
 from .graph import Communication, CommunicationGraph
 from .penalty import ContentionModel, LinearCostModel, PenaltyPrediction
@@ -417,6 +418,26 @@ class IncrementalPenaltyEngine:
         self._price_dirty()
         self._fresh_intra.clear()
         return {name: self._penalties[name] for name in repriced}
+
+    def refresh_arrays(self) -> Tuple[List[str], "np.ndarray"]:
+        """:meth:`refresh` with an array payload: ``(names, penalties)``.
+
+        The changed-set handoff of the batched rate path: the same re-priced
+        set, in the same iteration order as the dict :meth:`refresh` builds
+        (downstream batching relies on that order for bit-exact seq
+        assignment), as a name list plus a float64 penalty array — no
+        intermediate dict.
+        """
+        repriced: Set[str] = set(self._fresh_intra)
+        for comp_id in self._dirty:
+            repriced.update(self._members[comp_id])
+        self._price_dirty()
+        self._fresh_intra.clear()
+        names = list(repriced)
+        penalties = self._penalties
+        values = np.fromiter((penalties[name] for name in names),
+                             dtype=np.float64, count=len(names))
+        return names, values
 
     def _price_dirty(self) -> None:
         """Evaluate every dirty component (through the cache) and clear the set."""

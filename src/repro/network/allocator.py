@@ -65,7 +65,7 @@ from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 from .._numpy import np
 from ..core.incremental import PenaltyCache
 from ..exceptions import SimulationError
-from .fluid import Transfer
+from .fluid import SlotMap, Transfer
 from .sharing import FlowSpec, max_min_allocation, water_fill_arrays
 from .technologies import NetworkTechnology
 from .topology import CrossbarTopology, Topology
@@ -132,11 +132,18 @@ class EmulatorRateProvider:
         self.vectorized = bool(vectorized)
         #: tracked active set, for the delta contract (:meth:`update`)
         self._active: Dict[Hashable, Transfer] = {}
-        #: incremental incidence state for the array solver: resource tuple
-        #: per transfer, base capacity per referenced resource, and per-host
-        #: directional counts over the whole tracked set
-        self._resources_of_tid: Dict[Hashable, Tuple[Hashable, ...]] = {}
-        self._base_caps: Dict[Hashable, float] = {}
+        #: incremental incidence state for the array solver: per transfer the
+        #: resource key tuple plus the keys' integer slots, a dense slot map
+        #: over every referenced resource (slots are persistent — resources
+        #: of departed transfers keep theirs for reuse), the per-slot base
+        #: capacity array, and per-host directional counts over the whole
+        #: tracked set.  Integer slots give the solver's per-call resource
+        #: index int keys instead of tuple keys (cheaper hashing per entry).
+        self._resources_of_tid: Dict[
+            Hashable, Tuple[Tuple[Hashable, ...], Tuple[int, ...]]
+        ] = {}
+        self._res_slots = SlotMap()
+        self._res_caps = np.zeros(0, dtype=np.float64)
         self._counts: Dict[int, Dict[str, int]] = {}
         #: incremental endpoint multiset: pair per transfer, transfers per
         #: pair, and the sorted pair list that keys the memo (bisect-updated)
@@ -196,13 +203,13 @@ class EmulatorRateProvider:
         self._primed = False
         # the cached routes and capacities mirror the (possibly mutated)
         # topology/technology: rebuild them for the tracked transfers
-        self._base_caps = {}
+        self._res_slots.clear()
+        self._res_caps = np.zeros(0, dtype=np.float64)
         for tid, transfer in self._active.items():
             resources = self._resources_for(transfer)
-            self._resources_of_tid[tid] = resources
-            for resource in resources:
-                if resource not in self._base_caps:
-                    self._base_caps[resource] = self.topology.resource_capacity(resource)
+            self._resources_of_tid[tid] = (
+                resources, tuple(self._resource_slot(r) for r in resources)
+            )
 
     # ---------------------------------------------------------------- helpers
     def _directional_counts(self, active: Sequence[Transfer]) -> Dict[int, Dict[str, int]]:
@@ -260,6 +267,22 @@ class EmulatorRateProvider:
             )
         return specs
 
+    def _resource_slot(self, resource: Hashable) -> int:
+        """Persistent integer slot of a capacity resource (allocated on first
+        reference; the base-capacity array grows by doubling alongside)."""
+        slots = self._res_slots
+        slot = slots.get(resource)
+        if slot is None:
+            slot = slots.acquire(resource)
+            caps = self._res_caps
+            if slot >= len(caps):
+                grown = np.zeros(max(16, 2 * len(caps), slot + 1),
+                                 dtype=np.float64)
+                grown[: len(caps)] = caps
+                self._res_caps = caps = grown
+            caps[slot] = self.topology.resource_capacity(resource)
+        return slot
+
     def _resources_for(self, transfer: Transfer) -> Tuple[Hashable, ...]:
         """Capacity constraints the transfer consumes (cached per transfer)."""
         if transfer.is_intra_node:
@@ -308,11 +331,12 @@ class EmulatorRateProvider:
         sharing = self.technology.sharing
         single = self.technology.single_stream_bandwidth
         counts = self._counts
+        base_caps = self._res_caps
         tids: List[Hashable] = []
         caps: List[float] = []
         ent_flow: List[int] = []
         ent_res: List[int] = []
-        res_index: Dict[Hashable, int] = {}
+        res_index: Dict[int, int] = {}
         res_caps: List[float] = []
         for position, transfer in enumerate(active):
             tid = transfer.transfer_id
@@ -327,21 +351,24 @@ class EmulatorRateProvider:
             if cap <= 0:
                 raise SimulationError(f"flow {tid!r} has non-positive cap {cap}")
             caps.append(cap)
-            for resource in self._resources_of_tid[tid]:
-                index = res_index.get(resource)
+            for slot in self._resources_of_tid[tid][1]:
+                index = res_index.get(slot)
                 if index is None:
-                    index = res_index[resource] = len(res_caps)
-                    res_caps.append(self._base_caps[resource])
+                    index = res_index[slot] = len(res_caps)
+                    res_caps.append(float(base_caps[slot]))
                 ent_flow.append(position)
                 ent_res.append(index)
         # income/outgo degradations on the referenced NIC ports
+        slot_of = self._res_slots
         for host, c in counts.items():
             if c["rx"] >= sharing.reverse_threshold and c["tx"] >= 1:
                 tx_key, rx_key = self.topology.nic_resources(host)
-                index = res_index.get(tx_key)
+                slot = slot_of.get(tx_key)
+                index = res_index.get(slot) if slot is not None else None
                 if index is not None:
                     res_caps[index] *= 1.0 - sharing.tx_capacity_loss
-                index = res_index.get(rx_key)
+                slot = slot_of.get(rx_key)
+                index = res_index.get(slot) if slot is not None else None
                 if index is not None:
                     res_caps[index] *= 1.0 - sharing.rx_capacity_loss
         num_flows = len(tids)
@@ -436,10 +463,9 @@ class EmulatorRateProvider:
         self._tids_of_pair.setdefault(pair, {})[tid] = None
         bisect.insort(self._sorted_pairs, pair)
         resources = self._resources_for(transfer)
-        self._resources_of_tid[tid] = resources
-        for resource in resources:
-            if resource not in self._base_caps:
-                self._base_caps[resource] = self.topology.resource_capacity(resource)
+        self._resources_of_tid[tid] = (
+            resources, tuple(self._resource_slot(r) for r in resources)
+        )
         if not transfer.is_intra_node:
             counts = self._counts.setdefault(transfer.src, {"tx": 0, "rx": 0})
             counts["tx"] += 1

@@ -143,9 +143,43 @@ class PhaseTimer(Histogram):
     pricing, water-fill).  Hot sites call :meth:`observe` with a
     ``perf_counter`` delta directly — the context-manager form
     (:meth:`time`) is for coarse phases where ``with`` overhead is noise.
+
+    ``sample_every`` (default 1 = time every call) turns the timer into a
+    1-in-N sampler: hot sites gate their two ``perf_counter`` calls on
+    :meth:`due`, so N−1 out of N phase executions pay only one integer
+    increment.  Sampled aggregates estimate the full population (the mean
+    stays unbiased for steady phases); the snapshot exposes the factor as
+    ``<name>.sample_every`` whenever it is not 1 so consumers can scale
+    ``count``/``total`` back up.
     """
 
-    __slots__ = ()
+    __slots__ = ("sample_every", "_tick")
+
+    def __init__(self, name: str, sample_every: int = 1) -> None:
+        super().__init__(name)
+        if sample_every < 1:
+            raise ReproError(
+                f"timer {name!r}: sample_every must be >= 1, got {sample_every}"
+            )
+        self.sample_every = sample_every
+        self._tick = 0
+
+    def due(self) -> bool:
+        """True when this call should be timed (every call at factor 1)."""
+        every = self.sample_every
+        if every == 1:
+            return True
+        self._tick += 1
+        if self._tick >= every:
+            self._tick = 0
+            return True
+        return False
+
+    def snapshot(self) -> Dict[str, float]:
+        out = super().snapshot()
+        if self.sample_every != 1:
+            out[f"{self.name}.sample_every"] = self.sample_every
+        return out
 
     def time(self) -> "_Timing":
         return _Timing(self)
@@ -182,10 +216,16 @@ class MetricsRegistry:
     :meth:`snapshot` time, so registering one costs nothing per event.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, timer_sample_every: int = 1) -> None:
+        if timer_sample_every < 1:
+            raise ReproError(
+                f"timer_sample_every must be >= 1, got {timer_sample_every}"
+            )
         self._lock = threading.Lock()
         self._instruments: Dict[str, object] = {}
         self._sources: Dict[str, Callable[[], Mapping[str, Any]]] = {}
+        #: default 1-in-N sampling factor of :meth:`timer`-created PhaseTimers
+        self.timer_sample_every = int(timer_sample_every)
 
     # ------------------------------------------------------------ instruments
     def _instrument(self, name: str, kind: type):
@@ -211,7 +251,17 @@ class MetricsRegistry:
         return self._instrument(name, Histogram)
 
     def timer(self, name: str) -> PhaseTimer:
-        return self._instrument(name, PhaseTimer)
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = PhaseTimer(name, self.timer_sample_every)
+                self._instruments[name] = instrument
+            elif type(instrument) is not PhaseTimer:
+                raise ReproError(
+                    f"metric {name!r} already registered as "
+                    f"{type(instrument).__name__}, not PhaseTimer"
+                )
+            return instrument
 
     # ---------------------------------------------------------------- sources
     def register_source(self, name: str,

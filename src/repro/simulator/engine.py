@@ -104,6 +104,10 @@ class EngineConfig:
     #: re-queries the full active set every step — same results, O(active)
     #: per-step work (kept for verification and benchmarking)
     delta_rates: bool = True
+    #: structure-of-arrays calendar bookkeeping (see
+    #: :class:`~repro.network.fluid.TransferCalendar`'s ``vectorized``);
+    #: ``False`` keeps the scalar per-flight path — bit-exact either way
+    vectorized_calendar: bool = True
     #: interference injectors (:mod:`repro.simulator.interference`) whose
     #: events ride the timeline heap; empty = bit-exact clean-fabric run
     injectors: Tuple = ()
@@ -150,6 +154,7 @@ class EngineStatsSnapshot(SnapshotBase):
     steps: int = 0
     injected_events: int = 0
     background_flows: int = 0
+    timeline_bulk_merges: int = 0
     calendar: CalendarStatsSnapshot = field(default_factory=CalendarStatsSnapshot)
 
 
@@ -165,6 +170,9 @@ class EngineLoopStats:
     injected_events: int = 0
     #: background flows started by injectors
     background_flows: int = 0
+    #: timeline entries merged with one bulk heapify instead of per-entry
+    #: pushes (a per-step sweep's computes/readiness transitions coalesced)
+    timeline_bulk_merges: int = 0
     #: calendar counters (rate_updates, retimed, stale_entries, ...) of the run
     calendar: Dict[str, int] = field(default_factory=dict)
 
@@ -175,6 +183,7 @@ class EngineLoopStats:
             steps=self.steps,
             injected_events=self.injected_events,
             background_flows=self.background_flows,
+            timeline_bulk_merges=self.timeline_bulk_merges,
             calendar=CalendarStatsSnapshot(**self.calendar),
         )
 
@@ -430,6 +439,9 @@ class ExecutionEngine:
     """Executes task programs over a fluid transfer layer."""
 
     EPSILON = 1e-12
+    #: sweeps buffering at least this many timeline entries (and at least a
+    #: quarter of the heap) merge with one heapify instead of per-entry pushes
+    TIMELINE_BULK_MIN = 8
 
     def __init__(
         self,
@@ -484,6 +496,9 @@ class ExecutionEngine:
         # event calendar: computes + transfer readiness in the timeline heap,
         # predicted transfer completions in the shared TransferCalendar
         self._timeline: List[Tuple[float, int, int, int]] = []
+        # entries buffered during a ready-task sweep, merged into the heap in
+        # one pass at the next horizon computation (see _merge_timeline)
+        self._timeline_pending: List[Tuple[float, int, int, int]] = []
         self._timeline_seq = itertools.count()
         self._calendar: Optional[TransferCalendar] = None
         self._trace = active_sink(self.config.trace)
@@ -567,9 +582,8 @@ class ExecutionEngine:
                 duration = duration / self._compute_scale(task.rank)
             task.status = _Status.COMPUTING
             task.compute_until = self.now + duration
-            heapq.heappush(
-                self._timeline,
-                (task.compute_until, next(self._timeline_seq), _COMPUTE, task.rank),
+            self._timeline_pending.append(
+                (task.compute_until, next(self._timeline_seq), _COMPUTE, task.rank)
             )
         elif isinstance(event, SendEvent):
             if event.dst == task.rank:
@@ -614,9 +628,8 @@ class ExecutionEngine:
         if flight.ready_time <= self.now + self.EPSILON:
             self._calendar.activate(transfer, self.now)
         else:
-            heapq.heappush(
-                self._timeline,
-                (flight.ready_time, next(self._timeline_seq), _READY, tid),
+            self._timeline_pending.append(
+                (flight.ready_time, next(self._timeline_seq), _READY, tid)
             )
 
     def _post_send(self, task: _TaskState, event: SendEvent) -> None:
@@ -739,8 +752,35 @@ class ExecutionEngine:
                 made_progress = True
         return progressed
 
+    def _merge_timeline(self) -> None:
+        """Fold the sweep's buffered entries into the timeline heap.
+
+        ``_start_event`` / ``_start_transfer`` buffer their pushes during a
+        ready-task sweep; merging them here replaces one ``heappush`` per
+        started event with either per-entry pushes (small sweeps) or a
+        single list-extend + ``heapify`` rebuild (bulk sweeps, e.g. every
+        rank starting a compute at a barrier exit).  Entries carry unique
+        ``(time, seq)`` keys, so the pop stream — and therefore the
+        simulation — is identical either way.
+        """
+        pending = self._timeline_pending
+        if not pending:
+            return
+        timeline = self._timeline
+        if (len(pending) >= self.TIMELINE_BULK_MIN
+                and 4 * len(pending) >= len(timeline)):
+            timeline.extend(pending)
+            heapq.heapify(timeline)
+            self.stats.timeline_bulk_merges += 1
+        else:
+            push = heapq.heappush
+            for entry in pending:
+                push(timeline, entry)
+        pending.clear()
+
     def _next_horizon(self) -> float:
         """Earliest calendar entry (timeline or predicted completion)."""
+        self._merge_timeline()
         if self.config.injectors and not self.in_flight:
             # only injector runs need this extra check: _INJECT/background
             # entries keep the timeline non-empty, yet with no transfer in
@@ -871,6 +911,7 @@ class ExecutionEngine:
             missing_rate="zero",
             trace=self._trace,
             metrics=self._metrics,
+            vectorized=self.config.vectorized_calendar,
         )
         if self._metrics is not None:
             metrics = self._metrics

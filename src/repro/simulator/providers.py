@@ -35,6 +35,7 @@ from __future__ import annotations
 import math
 from typing import Dict, Hashable, List, Sequence
 
+from .._numpy import np
 from ..core.graph import Communication, CommunicationGraph
 from ..core.incremental import EngineStats, IncrementalPenaltyEngine, PenaltyCache
 from ..core.penalty import ContentionModel
@@ -173,21 +174,10 @@ class ModelRateProvider:
         self._rates.clear()
         self._full_penalties.clear()
 
-    def update(
+    def _apply_delta(
         self, added: Sequence[Transfer], removed: Sequence[Hashable]
-    ) -> Dict[Hashable, float]:
-        """Apply a flow delta; return the rates of the re-priced transfers.
-
-        With the incremental engine the returned mapping covers exactly the
-        membership of the conflict components the delta dirtied (plus
-        intra-node arrivals); in full-recompute mode every active transfer
-        is re-priced and returned.
-
-        The whole delta is validated before any state changes, so a rejected
-        call leaves the tracked set untouched and the caller (e.g. a
-        :class:`~repro.network.fluid.TransferCalendar` holding its pending
-        queues) can retry.
-        """
+    ) -> None:
+        """Validate the whole delta, then apply it to the tracked set."""
         departing = set()
         for tid in removed:
             if tid not in self._active or tid in departing:
@@ -212,6 +202,23 @@ class ModelRateProvider:
             if self._engine is not None:
                 self._engine.add(self._communication(transfer))
 
+    def update(
+        self, added: Sequence[Transfer], removed: Sequence[Hashable]
+    ) -> Dict[Hashable, float]:
+        """Apply a flow delta; return the rates of the re-priced transfers.
+
+        With the incremental engine the returned mapping covers exactly the
+        membership of the conflict components the delta dirtied (plus
+        intra-node arrivals); in full-recompute mode every active transfer
+        is re-priced and returned.
+
+        The whole delta is validated before any state changes, so a rejected
+        call leaves the tracked set untouched and the caller (e.g. a
+        :class:`~repro.network.fluid.TransferCalendar` holding its pending
+        queues) can retry.
+        """
+        self._apply_delta(added, removed)
+
         changed: Dict[Hashable, float] = {}
         if self._engine is not None:
             for name, penalty in self._engine.refresh().items():
@@ -231,6 +238,42 @@ class ModelRateProvider:
             self._full_penalties = {}
         self._rates.update(changed)
         return changed
+
+    def update_arrays(
+        self, added: Sequence[Transfer], removed: Sequence[Hashable]
+    ):
+        """:meth:`update` with an array payload: ``(tids, rates)``.
+
+        The batched handoff the vectorized
+        :class:`~repro.network.fluid.TransferCalendar` probes for: the same
+        re-priced set in the same order as :meth:`update` would report
+        (downstream seq assignment relies on that), as an id list plus a
+        float64 rate array — penalties converted to rates in one vectorized
+        dispatch with no intermediate dict.  The tracked ``_rates`` stay
+        dict-of-Python-floats either way, so mixing array and dict calls is
+        safe.
+        """
+        if self._engine is None:
+            changed = self.update(added, removed)
+            rates = np.fromiter(changed.values(), dtype=np.float64,
+                                count=len(changed))
+            return list(changed.keys()), rates
+        self._apply_delta(added, removed)
+        names, penalties = self._engine.refresh_arrays()
+        tids = [self._tid_of[name] for name in names]
+        if not tids:
+            return tids, np.empty(0, dtype=np.float64)
+        active = self._active
+        intra = np.fromiter((active[tid].is_intra_node for tid in tids),
+                            dtype=bool, count=len(tids))
+        # elementwise max + one division: identical IEEE-754 operations to
+        # the scalar _rate_of, so each rate is bit-identical
+        penalties = np.maximum(1.0, penalties)
+        bandwidth = np.where(intra, self.technology.memory_bandwidth,
+                             self.technology.single_stream_bandwidth)
+        rates = bandwidth / penalties
+        self._rates.update(zip(tids, rates.tolist()))
+        return tids, rates
 
     def _sync(self, active: Sequence[Transfer]) -> None:
         """Diff ``active`` against the tracked set and apply the delta."""
