@@ -10,12 +10,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import compare_reports, per_task_error_table
-from repro.cluster import custom_cluster
+from repro.analysis import per_task_error_table
 from repro.core import GigabitEthernetModel, MyrinetModel
-from repro.simulator import Simulator
 
-from bench_fig8_hpl_gigabit import NUM_NODES, PLACEMENTS, build_application, run_hpl
+from bench_fig8_hpl_gigabit import run_hpl
 
 
 @pytest.mark.benchmark(group="figure9", min_rounds=1, max_time=1.0, warmup=False)

@@ -15,8 +15,8 @@ of the communications of a task are compared instead:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping
 
 from .._numpy import np
 

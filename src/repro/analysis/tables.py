@@ -7,11 +7,10 @@ so that the comparison against the published numbers is a diff, not a chart).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 from .._numpy import np
 
-from ..units import format_time
 
 __all__ = [
     "render_table",

@@ -13,16 +13,16 @@ could a real cluster if one were available.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional
 
 from .._numpy import np
 
 from ..core.graph import CommunicationGraph
-from ..core.penalty import ContentionModel, LinearCostModel
+from ..core.penalty import ContentionModel
 from ..exceptions import SimulationError
 from ..network.emulator import ClusterEmulator
-from ..network.technologies import NetworkTechnology, get_technology
+from ..network.technologies import NetworkTechnology
 from ..units import MB, format_time
 
 __all__ = ["PenaltyMeasurement", "PenaltyTool"]

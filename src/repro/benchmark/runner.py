@@ -18,14 +18,13 @@ predicted penalties and times are bit-exact with direct
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..core.graph import CommunicationGraph
 from ..core.incremental import EngineStats, PenaltyCache, cached_predict
 from ..core.penalty import ContentionModel, LinearCostModel
 from ..core.registry import model_for_network
-from ..network.technologies import NetworkTechnology, get_technology
-from ..units import MB
+from ..network.technologies import get_technology
 from .penalty_tool import PenaltyMeasurement, PenaltyTool
 
 __all__ = ["SchemeResult", "SweepResult", "ExperimentRunner"]

@@ -1,0 +1,6 @@
+"""``python -m repro.checks`` — the invariant linter as a module."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,77 @@
+"""RC06 — benchmarks publish results only through the shared ``emit`` fixture.
+
+The PR 6 drift-impossible rule: every ``benchmarks/results/*.txt`` report
+and every ``BENCH_*.json`` trajectory record is written from the **same
+in-memory object** by the ``emit`` fixture (``benchmarks/conftest.py``).  A
+benchmark that hand-``json.dump``\\ s a record — or opens a ``BENCH_*``
+file itself — reintroduces the possibility of the text report and the JSON
+trajectory disagreeing, which is exactly what the fixture exists to make
+impossible.
+
+The rule applies to ``bench_*`` files only; ``conftest.py`` *implements*
+the fixture and is exempt by name.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .base import Checker, CheckContext, ParsedModule, dotted_name
+
+__all__ = ["BenchEmitChecker"]
+
+#: file-writing calls that may smuggle a record past the fixture
+_WRITE_METHODS = frozenset({"write_text", "write", "dump"})
+
+
+def _mentions_bench_target(node: ast.AST) -> bool:
+    """Does any sub-expression reference a ``BENCH_*`` name or path?"""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id.startswith("BENCH_"):
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr.startswith("BENCH_"):
+            return True
+        if isinstance(sub, ast.Constant) and isinstance(sub.value, str) and \
+                "BENCH_" in sub.value:
+            return True
+    return False
+
+
+class BenchEmitChecker(Checker):
+    code = "RC06"
+    name = "bench-emit-discipline"
+    description = ("benchmarks must write results through the shared emit "
+                   "fixture; hand-written json.dump / BENCH_*.json writes "
+                   "can drift from the text report")
+
+    def visit_module(self, ctx: CheckContext, module: ParsedModule) -> None:
+        if not module.basename.startswith("bench_"):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = self._offending_call(node)
+            if target is not None:
+                ctx.report(module, node.lineno, self.code, target)
+
+    def _offending_call(self, call: ast.Call) -> Optional[str]:
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            owner = dotted_name(func.value)
+            if owner == "json" and func.attr in ("dump", "dumps"):
+                return (f"hand-rolled json.{func.attr}(...) in a benchmark; "
+                        "pass record=/bench_json= to the shared emit fixture "
+                        "so the text report and the trajectory JSON are "
+                        "written from the same object")
+            if func.attr in _WRITE_METHODS and (
+                    _mentions_bench_target(call) or
+                    (owner is not None and owner.startswith("BENCH_"))):
+                return (f".{func.attr}(...) targeting a BENCH_* trajectory "
+                        "file; only the emit fixture may append trajectory "
+                        "records")
+        elif isinstance(func, ast.Name) and func.id == "open":
+            if _mentions_bench_target(call):
+                return ("open(...) on a BENCH_* trajectory file; only the "
+                        "emit fixture may touch trajectory files")
+        return None

@@ -1,0 +1,81 @@
+"""``repro check --fix``: mechanical rewrites for the fixable rule subset.
+
+Today that is RC02 import rewriting: single-alias ``import numpy`` forms
+become guarded imports through :mod:`repro._numpy`.  The rewrite is
+line-oriented and conservative — it touches only statements that occupy
+exactly the line the AST says they do, keeps any trailing comment, and
+leaves every other form (``from numpy import X``, multi-alias imports) as
+reported findings for a human.
+
+Fixing is idempotent: a fixed file re-checks clean, and running ``--fix``
+again rewrites nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import List, Tuple
+
+__all__ = ["rewrite_numpy_imports", "fix_paths"]
+
+
+def rewrite_numpy_imports(source: str) -> Tuple[str, int]:
+    """Rewrite fixable RC02 violations in ``source``.
+
+    Returns ``(new_source, rewrites)``; the source is returned unchanged
+    when nothing was fixable (including when it does not parse).
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, 0
+    lines = source.splitlines(keepends=True)
+    rewrites = 0
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Import) or len(node.names) != 1:
+            continue
+        alias = node.names[0]
+        if alias.name != "numpy":
+            continue
+        if node.end_lineno != node.lineno:  # pragma: no cover - one-liner form
+            continue
+        index = node.lineno - 1
+        line = lines[index]
+        newline = "\n" if line.endswith("\n") else ""
+        stripped = line.rstrip("\n")
+        comment = ""
+        # keep a trailing comment (suppressions excepted: the fix removes
+        # the violation, so an ignore[RC02] comment would be stale)
+        hash_pos = stripped.find("#")
+        if hash_pos != -1:
+            tail = stripped[hash_pos:]
+            if "repro-check" not in tail:
+                comment = "  " + tail.strip()
+        indent = stripped[:len(stripped) - len(stripped.lstrip())]
+        bound = alias.asname or "numpy"
+        replacement = ("from repro._numpy import np"
+                       if bound == "np"
+                       else f"from repro._numpy import np as {bound}")
+        lines[index] = f"{indent}{replacement}{comment}{newline}"
+        rewrites += 1
+    return "".join(lines), rewrites
+
+
+def fix_paths(paths: List[Path]) -> List[Tuple[Path, int]]:
+    """Apply every mechanical fix to ``paths`` in place.
+
+    Returns the ``(path, rewrites)`` pairs of the files actually changed.
+    The guard module itself is never rewritten — its ``import numpy`` *is*
+    the sanctioned one.
+    """
+    changed: List[Tuple[Path, int]] = []
+    for path in paths:
+        if path.name == "_numpy.py":
+            continue
+        source = path.read_text(encoding="utf-8")
+        fixed, rewrites = rewrite_numpy_imports(source)
+        if rewrites:
+            path.write_text(fixed, encoding="utf-8")
+            changed.append((path, rewrites))
+    return changed

@@ -1,0 +1,72 @@
+"""RC02 — numpy is imported exactly once, behind :mod:`repro._numpy`.
+
+The package declares numpy as a hard dependency but routes every import
+through ``repro._numpy`` so a missing install fails with one actionable
+message instead of a mid-simulation traceback (and so an optional-numpy
+build stays a one-file change).  A bare ``import numpy`` anywhere else
+reopens that hole; this rule closes it mechanically.
+
+``repro check --fix`` rewrites the single-alias forms in place::
+
+    import numpy as np      ->  from repro._numpy import np
+    import numpy            ->  from repro._numpy import np as numpy
+
+``from numpy import X`` cannot be rewritten mechanically (the guard module
+only exports the ``np`` namespace) and stays a reported finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Tuple
+
+from .base import Checker, CheckContext, ParsedModule
+
+__all__ = ["NumpyGuardChecker", "FIXABLE_FORMS"]
+
+#: forms fix() can rewrite: (single-alias plain import of numpy itself)
+FIXABLE_FORMS = ("import numpy", "import numpy as <name>")
+
+
+def numpy_import_findings(tree: ast.Module) -> List[Tuple[int, str, bool]]:
+    """(line, message, fixable) for every direct numpy import in ``tree``."""
+    out: List[Tuple[int, str, bool]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy" or alias.name.startswith("numpy."):
+                    bound = alias.asname or alias.name.split(".")[0]
+                    fixable = (alias.name == "numpy" and len(node.names) == 1)
+                    out.append((
+                        node.lineno,
+                        f"direct 'import {alias.name}' (binds {bound!r}); "
+                        "route it through the guard: "
+                        "'from repro._numpy import np'",
+                        fixable,
+                    ))
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if node.level == 0 and (module == "numpy" or
+                                    module.startswith("numpy.")):
+                names = ", ".join(alias.name for alias in node.names)
+                out.append((
+                    node.lineno,
+                    f"direct 'from {module} import {names}'; import the "
+                    "guarded namespace instead: 'from repro._numpy import np' "
+                    "and use np.<name>",
+                    False,
+                ))
+    return out
+
+
+class NumpyGuardChecker(Checker):
+    code = "RC02"
+    name = "numpy-guard"
+    description = ("'import numpy' is permitted only inside repro/_numpy.py; "
+                   "everything else must use 'from repro._numpy import np'")
+
+    def visit_module(self, ctx: CheckContext, module: ParsedModule) -> None:
+        if module.basename == "_numpy.py":
+            return  # the guard module itself is the one sanctioned import
+        for line, message, _fixable in numpy_import_findings(module.tree):
+            ctx.report(module, line, self.code, message)

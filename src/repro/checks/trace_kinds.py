@@ -1,0 +1,150 @@
+"""RC01 — the trace-kind registry and its documentation stay in sync.
+
+Two directions of drift, both fatal to the "one schema, documented" story
+of :mod:`repro.trace`:
+
+* a call site emitting a ``TraceRecord`` with a string-literal kind that is
+  **not** in ``KNOWN_KINDS`` (a typo'd or unregistered kind silently
+  producing records no reader vocabulary covers);
+* a ``KNOWN_KINDS`` entry missing from the record-kind tables of
+  ``docs/trace-format.md`` (code moved, docs didn't).
+
+The registry is taken from a scanned file assigning ``KNOWN_KINDS`` when
+one is in the scan set (the real tree, or a fixture tree shipping its own
+mini registry); otherwise it is imported from :mod:`repro.trace.records`.
+The documentation side runs only when a trace-format document is found
+(``<root>/docs/trace-format.md`` or the ``--trace-doc`` override).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Set, Tuple
+
+from .base import Checker, CheckContext, ParsedModule
+
+__all__ = ["TraceKindChecker"]
+
+#: a documented kind: the backticked first cell of a markdown table row
+_DOC_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_]+(?:\.[a-z0-9_]+)*)`\s*\|")
+
+#: shape of a plausible kind literal; anything else is not a kind at all
+_KIND_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)*$")
+
+
+def _kind_argument(call: ast.Call) -> Optional[ast.Constant]:
+    """The string-literal ``kind`` argument of a ``TraceRecord(...)`` call."""
+    candidate: Optional[ast.expr] = None
+    if len(call.args) >= 2:
+        candidate = call.args[1]
+    for keyword in call.keywords:
+        if keyword.arg == "kind":
+            candidate = keyword.value
+    if isinstance(candidate, ast.Constant) and isinstance(candidate.value, str):
+        return candidate
+    return None
+
+
+class TraceKindChecker(Checker):
+    code = "RC01"
+    name = "trace-kind-registry"
+    description = ("string-literal TraceRecord kinds must be registered in "
+                   "KNOWN_KINDS, and every registered kind must be documented "
+                   "in docs/trace-format.md")
+
+    def __init__(self) -> None:
+        #: (module, line, kind) of every literal-kind TraceRecord call site
+        self._call_sites: List[Tuple[ParsedModule, int, str]] = []
+        #: kind -> (module, line) of its KNOWN_KINDS entry, when scanned
+        self._registry: Optional[Dict[str, Tuple[ParsedModule, int]]] = None
+        self._registry_module: Optional[ParsedModule] = None
+
+    def visit_module(self, ctx: CheckContext, module: ParsedModule) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                func_name = func.attr if isinstance(func, ast.Attribute) else (
+                    func.id if isinstance(func, ast.Name) else None)
+                if func_name == "TraceRecord":
+                    literal = _kind_argument(node)
+                    if literal is not None:
+                        self._call_sites.append(
+                            (module, literal.lineno, literal.value))
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and \
+                            target.id == "KNOWN_KINDS":
+                        self._load_registry(module, node.value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name) and \
+                        node.target.id == "KNOWN_KINDS":
+                    self._load_registry(module, node.value)
+
+    def _load_registry(self, module: ParsedModule, value: ast.expr) -> None:
+        if not isinstance(value, (ast.Tuple, ast.List)):
+            return
+        registry: Dict[str, Tuple[ParsedModule, int]] = {}
+        for element in value.elts:
+            if isinstance(element, ast.Constant) and \
+                    isinstance(element.value, str):
+                registry[element.value] = (module, element.lineno)
+        self._registry = registry
+        self._registry_module = module
+
+    # ------------------------------------------------------------- finalize
+    def finalize(self, ctx: CheckContext) -> None:
+        known = self._known_kinds()
+        if known is None:
+            return  # no registry reachable: nothing to check against
+        for module, line, kind in self._call_sites:
+            if kind not in known:
+                ctx.report(module, line, self.code,
+                           f"trace kind {kind!r} is not in KNOWN_KINDS "
+                           "(repro.trace.records); register it and document "
+                           "it in docs/trace-format.md")
+        self._check_documentation(ctx, known)
+
+    def _known_kinds(self) -> Optional[Set[str]]:
+        if self._registry is not None:
+            return set(self._registry)
+        try:
+            from ..trace.records import KNOWN_KINDS
+        except Exception:  # pragma: no cover - only without repro importable
+            return None
+        return set(KNOWN_KINDS)
+
+    def _check_documentation(self, ctx: CheckContext, known: Set[str]) -> None:
+        doc = ctx.trace_doc
+        if doc is None:
+            candidate = ctx.root / "docs" / "trace-format.md"
+            doc = candidate if candidate.is_file() else None
+        if doc is None:
+            return
+        documented: Set[str] = set()
+        try:
+            text = doc.read_text(encoding="utf-8")
+        except OSError as exc:
+            ctx.report(None, 0, self.code,
+                       f"cannot read trace-format document {doc}: {exc}",
+                       rel=str(doc))
+            return
+        for line in text.splitlines():
+            match = _DOC_ROW_RE.match(line.strip())
+            if match and _KIND_RE.match(match.group(1)):
+                documented.add(match.group(1))
+        try:
+            doc_rel = doc.resolve().relative_to(ctx.root.resolve()).as_posix()
+        except ValueError:
+            doc_rel = doc.as_posix()
+        for kind in sorted(known - documented):
+            module, line = (self._registry.get(kind, (None, 0))
+                            if self._registry is not None else (None, 0))
+            if module is not None:
+                ctx.report(module, line, self.code,
+                           f"KNOWN_KINDS entry {kind!r} is not documented in "
+                           f"{doc_rel} (add a record-kind table row)")
+            else:
+                ctx.report(None, 0, self.code,
+                           f"KNOWN_KINDS entry {kind!r} is not documented "
+                           "(add a record-kind table row)", rel=doc_rel)

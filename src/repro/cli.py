@@ -549,6 +549,18 @@ def cmd_trace_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: the repo invariant linter (:mod:`repro.checks`).
+
+    Reached only through the stub subparser (``repro --help`` discovery);
+    the real dispatch short-circuits in :func:`main` so the linter owns its
+    whole argument vector, ``--help`` included.
+    """
+    from .checks.cli import main as check_main
+
+    return check_main(list(args.check_args))
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     tool = PenaltyTool(args.network, iterations=args.iterations, num_hosts=args.hosts)
     parameters = calibrate_from_measurer(tool.measure_penalties)
@@ -737,6 +749,14 @@ def build_parser() -> argparse.ArgumentParser:
                         slowdown_factor=1.0, slowdown_start=0.0,
                         slowdown_until=None, slowdown_hosts=None)
 
+    check = sub.add_parser(
+        "check",
+        help="run the repo invariant linter (RC01-RC06; see repro.checks)",
+        add_help=False,
+    )
+    check.add_argument("check_args", nargs=argparse.REMAINDER)
+    check.set_defaults(handler=cmd_check)
+
     calibrate = sub.add_parser("calibrate", help="estimate (beta, gamma_o, gamma_i)")
     calibrate.add_argument("--network", default="ethernet")
     calibrate.add_argument("--iterations", type=int, default=3)
@@ -747,8 +767,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "check":
+        # hand the linter its full argument vector untouched (argparse
+        # REMAINDER mangles leading options like --format)
+        from .checks.cli import main as check_main
+
+        return check_main(arguments[1:])
     parser = build_parser()
-    args = parser.parse_args(argv)
+    args = parser.parse_args(arguments)
     if args.command == "predict" and args.model is None:
         args.model = args.network
     try:

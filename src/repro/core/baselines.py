@@ -27,7 +27,7 @@ reproduce that comparison, this module implements the baselines:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .._numpy import np
 from ..exceptions import ModelError

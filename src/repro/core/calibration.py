@@ -23,7 +23,7 @@ schemes), and the equivalent fit for the InfiniBand extension model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, Mapping, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Sequence, Tuple
 
 from .._numpy import np
 from scipy import optimize

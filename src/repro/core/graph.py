@@ -34,8 +34,8 @@ from __future__ import annotations
 
 import itertools
 from collections import defaultdict
-from dataclasses import dataclass, field, replace
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Sequence, Tuple
 
 import networkx as nx
 

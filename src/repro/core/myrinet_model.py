@@ -32,11 +32,11 @@ Bron–Kerbosch search with pivoting inside each component.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, List, Mapping, Sequence, Tuple
 
 from ..exceptions import ModelError
-from .graph import Communication, CommunicationGraph, ConflictRule
+from .graph import CommunicationGraph, ConflictRule
 from .penalty import ContentionModel
 
 __all__ = [

@@ -9,7 +9,7 @@ simulator (§VI.A).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List
+from typing import Callable, Dict, List
 
 from ..exceptions import ModelError
 from .baselines import FairShareModel, KimLeeModel, NoContentionModel

@@ -10,9 +10,9 @@ which the engine provides.
 
 from __future__ import annotations
 
-from typing import Callable, Generator, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Generator, List, Sequence
 
-from ..cluster.spec import ClusterSpec, custom_cluster, get_cluster
+from ..cluster.spec import ClusterSpec
 from ..core.penalty import ContentionModel
 from ..exceptions import SimulationError
 from ..simulator.engine import EngineConfig

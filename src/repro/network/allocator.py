@@ -58,7 +58,6 @@ full re-solve up to floating-point summation order.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Set, Tuple
 

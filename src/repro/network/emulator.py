@@ -17,14 +17,13 @@ and penalties ``P_i = T_i / T_ref``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from ..core.graph import CommunicationGraph
 from ..exceptions import SimulationError
 from ..units import MB
 from .allocator import EmulatorRateProvider
-from .fluid import FluidTransferSimulator, Transfer, TransferResult
+from .fluid import FluidTransferSimulator, Transfer
 from .technologies import NetworkTechnology, get_technology
 from .topology import CrossbarTopology, Topology
 

@@ -1154,7 +1154,7 @@ class TransferCalendar:
         old_rated = arr.rated[slots]
         ci = np.nonzero(~(old_rated & (old_rate == rate_new)))[0]
         if not ci.size:
-            if stall_new:
+            if trace is not None and stall_new:
                 for i in stall_new:
                     trace.emit(TraceRecord(now, "calendar.stall", kept_tids[i],
                                            {"rate": float(rate_new[i])}))

@@ -28,8 +28,8 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Dict, Hashable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Deque, Dict, Hashable, List, Sequence, Tuple
 
 from ..exceptions import SimulationError
 from ..units import KiB

@@ -49,8 +49,8 @@ two paths cannot disagree.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 from .._numpy import np
 from ..exceptions import SimulationError

@@ -21,7 +21,7 @@ A :class:`NetworkTechnology` bundles:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 from ..exceptions import TopologyError

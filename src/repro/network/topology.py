@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, fields
-from typing import Dict, Hashable, List, Sequence, Tuple
+from typing import Dict, Hashable, Tuple
 
 from ..exceptions import TopologyError
 from .technologies import NetworkTechnology

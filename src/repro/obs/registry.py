@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import threading
 from time import perf_counter
-from typing import Any, Callable, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional, Type, TypeVar, Union, cast
 
 from ..exceptions import ReproError
 from ..trace.records import TraceRecord
@@ -196,12 +196,18 @@ class _Timing:
         self._start = perf_counter()
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self._timer.observe(perf_counter() - self._start)
 
 
 def _is_number(value: Any) -> bool:
     return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+#: everything the registry can own — all four expose snapshot() and reset()
+Instrument = Union[Counter, Gauge, Histogram, PhaseTimer]
+
+_InstrumentT = TypeVar("_InstrumentT", Counter, Gauge, Histogram)
 
 
 class MetricsRegistry:
@@ -222,13 +228,13 @@ class MetricsRegistry:
                 f"timer_sample_every must be >= 1, got {timer_sample_every}"
             )
         self._lock = threading.Lock()
-        self._instruments: Dict[str, object] = {}
+        self._instruments: Dict[str, Instrument] = {}
         self._sources: Dict[str, Callable[[], Mapping[str, Any]]] = {}
         #: default 1-in-N sampling factor of :meth:`timer`-created PhaseTimers
         self.timer_sample_every = int(timer_sample_every)
 
     # ------------------------------------------------------------ instruments
-    def _instrument(self, name: str, kind: type):
+    def _instrument(self, name: str, kind: Type[_InstrumentT]) -> _InstrumentT:
         with self._lock:
             instrument = self._instruments.get(name)
             if instrument is None:
@@ -239,7 +245,7 @@ class MetricsRegistry:
                     f"metric {name!r} already registered as "
                     f"{type(instrument).__name__}, not {kind.__name__}"
                 )
-            return instrument
+            return cast(_InstrumentT, instrument)
 
     def counter(self, name: str) -> Counter:
         return self._instrument(name, Counter)
@@ -292,7 +298,7 @@ class MetricsRegistry:
             sources = list(self._sources.items())
         out: Dict[str, float] = {}
         for instrument in instruments:
-            out.update(instrument.snapshot())  # type: ignore[attr-defined]
+            out.update(instrument.snapshot())
         for name, source in sources:
             for key, value in source().items():
                 if _is_number(value):
@@ -308,4 +314,4 @@ class MetricsRegistry:
         with self._lock:
             instruments = list(self._instruments.values())
         for instrument in instruments:
-            instrument.reset()  # type: ignore[attr-defined]
+            instrument.reset()

@@ -29,7 +29,7 @@ Examples::
 from __future__ import annotations
 
 import re
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ..core.graph import CommunicationGraph
 from ..exceptions import SchemeParseError

@@ -18,7 +18,7 @@ and the residual ambiguity is documented per experiment in
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict
 
 from ..core.graph import CommunicationGraph
 from ..exceptions import WorkloadError

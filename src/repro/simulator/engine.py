@@ -984,7 +984,7 @@ class ExecutionEngine:
             if self._trace is not None:
                 self._trace.emit(TraceRecord(self.now, "step", "engine",
                                              {"step": self.stats.steps}))
-                if (self._sample_every
+                if (self._metrics is not None and self._sample_every
                         and self.stats.steps % self._sample_every == 0):
                     self._trace.emit(self._metrics.sample_record(self.now))
             self._complete_due_events()

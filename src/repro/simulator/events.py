@@ -21,7 +21,7 @@ exactly; see ``_MatchQueue``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from ..exceptions import TraceError

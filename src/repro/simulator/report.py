@@ -10,7 +10,7 @@ measured) into the error tables of Figures 7, 8 and 9.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from .._numpy import np
 

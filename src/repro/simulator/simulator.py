@@ -22,16 +22,16 @@ the quantity ``benchmarks/bench_scale_engine.py`` tracks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional, Sequence, Union
+from dataclasses import replace
+from typing import Optional, Sequence
 
 from ..cluster.placement import Placement, make_placement
-from ..cluster.spec import ClusterSpec, custom_cluster, get_cluster
+from ..cluster.spec import ClusterSpec, get_cluster
 from ..core.penalty import ContentionModel
 from ..core.registry import model_for_network
 from ..exceptions import SimulationError
 from ..network.allocator import EmulatorRateProvider
-from ..network.technologies import NetworkTechnology, get_technology
+from ..network.technologies import NetworkTechnology
 from ..network.topology import CrossbarTopology
 from ..trace.sinks import TraceSink
 from .application import Application

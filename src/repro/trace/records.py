@@ -9,7 +9,25 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field, fields
-from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Hashable,
+    Iterable,
+    ItemsView,
+    Iterator,
+    KeysView,
+    List,
+    Optional,
+    Tuple,
+    Union,
+    ValuesView,
+    overload,
+)
+
+if TYPE_CHECKING:
+    from .sinks import TraceSink
 
 from ..exceptions import TraceError
 
@@ -99,7 +117,8 @@ class TraceRecord:
                    data=data)
 
 
-def emit_inject_apply(trace, now: float, injector, index: int) -> None:
+def emit_inject_apply(trace: "TraceSink", now: float, injector: object,
+                      index: int) -> None:
     """Emit the ``inject.apply`` record for a firing injector.
 
     The one emission shape shared by the engine pre-loop, the engine main
@@ -129,7 +148,13 @@ class TraceLog:
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> TraceRecord: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> List[TraceRecord]: ...
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[TraceRecord, List[TraceRecord]]:
         return self.records[index]
 
     # --------------------------------------------------------------- queries
@@ -221,28 +246,28 @@ class SnapshotBase:
         return dict(self._flat())
 
     # ------------------------------------------------- dict-style compatibility
-    def keys(self):
+    def keys(self) -> KeysView[str]:
         return self._flat().keys()
 
-    def items(self):
+    def items(self) -> ItemsView[str, Any]:
         return self._flat().items()
 
-    def values(self):
+    def values(self) -> ValuesView[Any]:
         return self._flat().values()
 
-    def __getitem__(self, key: str):
+    def __getitem__(self, key: str) -> Any:
         try:
             return self._flat()[key]
         except KeyError:
             raise KeyError(f"{type(self).__name__} has no counter {key!r}") from None
 
-    def get(self, key: str, default=None):
+    def get(self, key: str, default: Any = None) -> Any:
         return self._flat().get(key, default)
 
     def __contains__(self, key: object) -> bool:
         return key in self._flat()
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[str]:
         return iter(self._flat())
 
     def __len__(self) -> int:

@@ -29,10 +29,13 @@ degradation schedule in the trace container can be imposed on any workload.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Hashable, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Hashable, Iterable, List, Optional, Union
 
 from ..exceptions import TraceError
 from .records import TraceLog, TraceRecord
+
+if TYPE_CHECKING:
+    from ..simulator.interference import InjectionState
 
 __all__ = ["TraceReplayInjector", "replay_events", "REPLAYABLE_KINDS"]
 
@@ -120,7 +123,7 @@ class TraceReplayInjector:
             return None
         return self.events[self._cursor].time
 
-    def apply(self, state) -> None:
+    def apply(self, state: "InjectionState") -> None:
         """Re-execute every recorded event sharing the next record's time.
 
         Same-time records are batched into one firing: the original run may
@@ -140,7 +143,7 @@ class TraceReplayInjector:
             self._cursor += 1
             self._dispatch(record, state)
 
-    def _dispatch(self, record: TraceRecord, state) -> None:
+    def _dispatch(self, record: TraceRecord, state: "InjectionState") -> None:
         kind, data = record.kind, record.data
         if kind == "inject.flow_start":
             tid = state.start_flow(
@@ -179,7 +182,7 @@ class TraceReplayInjector:
             state.remove_compute_scale(handle)
 
     # -------------------------------------------------------------- reporting
-    def describe(self) -> dict:
+    def describe(self) -> Dict[str, Any]:
         return {
             "injector": type(self).__name__,
             "name": self.name,

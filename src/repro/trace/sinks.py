@@ -14,7 +14,17 @@ import json
 import weakref
 from collections import deque
 from pathlib import Path
-from typing import Deque, Iterable, Iterator, List, Optional, Protocol, Union
+from typing import (
+    Deque,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Protocol,
+    TextIO,
+    Union,
+    cast,
+)
 
 from ..exceptions import TraceError
 from .records import TRACE_FORMAT, TRACE_VERSION, TraceLog, TraceRecord
@@ -161,6 +171,7 @@ class JsonlTraceSink:
                  flush_every: Optional[int] = None) -> None:
         self.path = Path(path)
         self.flush_every = self.FLUSH_EVERY if flush_every is None else int(flush_every)
+        self._handle: Optional[TextIO]
         try:
             self._handle = open(self.path, "w", encoding="utf-8")
         except OSError as exc:
@@ -208,13 +219,15 @@ class JsonlTraceSink:
             self.flush()
             self._handle.close()
             self._handle = None
-            self._buffer = _ClosedSinkBuffer(self.path)
+            # the sentinel only has to support append() (which raises); the
+            # cast keeps the declared hot-path type a plain list
+            self._buffer = cast(List[TraceRecord], _ClosedSinkBuffer(self.path))
             _OPEN_JSONL_SINKS.discard(self)
 
     def __enter__(self) -> "JsonlTraceSink":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent

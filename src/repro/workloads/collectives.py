@@ -10,7 +10,6 @@ ablation benchmarks can study them.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from ..exceptions import WorkloadError
 from ..simulator.application import Application

@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
 
 from ..exceptions import WorkloadError
 from ..simulator.application import Application

@@ -11,7 +11,7 @@ All generators are deterministic given their ``seed``.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence
 
 import networkx as nx
 from .._numpy import np

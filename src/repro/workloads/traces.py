@@ -36,8 +36,6 @@ format drops.
 
 from __future__ import annotations
 
-import io
-import os
 from pathlib import Path
 from typing import Iterable, List, TextIO, Union
 

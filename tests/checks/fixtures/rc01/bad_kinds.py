@@ -1,0 +1,7 @@
+"""Seeded RC01 violation: a literal kind missing from the registry."""
+
+from repro.trace.records import TraceRecord
+
+
+def emit_bad(trace):
+    trace.emit(TraceRecord(0.0, "calendar.flsh", None, {}))

@@ -1,0 +1,7 @@
+"""Clean twin of bad_kinds: the literal kind is registered."""
+
+from repro.trace.records import TraceRecord
+
+
+def emit_ok(trace):
+    trace.emit(TraceRecord(0.0, "calendar.flush", None, {}))

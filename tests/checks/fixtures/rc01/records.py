@@ -1,0 +1,7 @@
+"""Mini trace-kind registry for the RC01 fixtures (self-contained)."""
+
+KNOWN_KINDS = (
+    "run.meta",
+    "calendar.flush",
+    "metrics.sample",
+)

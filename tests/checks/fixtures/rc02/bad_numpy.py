@@ -1,0 +1,8 @@
+"""Seeded RC02 violations: direct numpy imports outside the guard."""
+
+import numpy as np
+from numpy import linalg
+
+
+def norm(values):
+    return float(linalg.norm(np.asarray(values)))

@@ -1,0 +1,7 @@
+"""Clean twin: numpy arrives through the guard module."""
+
+from repro._numpy import np
+
+
+def norm(values):
+    return float(np.linalg.norm(np.asarray(values)))

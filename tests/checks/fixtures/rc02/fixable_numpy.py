@@ -1,0 +1,7 @@
+"""Seeded RC02 violation that ``repro check --fix`` can rewrite."""
+
+import numpy as np
+
+
+def total(values):
+    return float(np.sum(np.asarray(values)))

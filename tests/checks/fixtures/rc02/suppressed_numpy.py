@@ -1,0 +1,7 @@
+"""RC02 violation silenced by an inline suppression comment."""
+
+import numpy as np  # repro-check: ignore[RC02]
+
+
+def mean(values):
+    return float(np.mean(values))

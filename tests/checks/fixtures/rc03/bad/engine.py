@@ -1,0 +1,16 @@
+"""Seeded RC03 violations in a hot-module basename twin."""
+
+from repro.trace.records import TraceRecord
+
+
+def run_unguarded(trace, now):
+    trace.emit(TraceRecord(now, "step", None, {}))
+
+
+def run_truthiness(trace, now):
+    if trace:
+        trace.emit(TraceRecord(now, "step", None, {}))
+
+
+def run_computed(sinks, now):
+    sinks[0].emit(TraceRecord(now, "step", None, {}))

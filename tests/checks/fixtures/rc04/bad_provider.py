@@ -1,0 +1,25 @@
+"""Seeded RC04 violations: three contract-shape breakages."""
+
+
+class SlotsWithoutArrays:
+    def update(self, added, removed):
+        return {}
+
+    def update_slots(self, added_slots, removed):
+        return (), (), ()
+
+
+class DriftingRates:
+    def update(self, added, removed):
+        return {}
+
+    def rates(self, active):
+        return {t.transfer_id: 1.0 for t in active}
+
+
+class ChattyReset:
+    def update(self, added, removed):
+        return {}
+
+    def reset(self, hard):
+        pass

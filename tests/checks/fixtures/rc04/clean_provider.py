@@ -1,0 +1,29 @@
+"""Clean twin: a full three-tier provider with a conforming shim."""
+
+
+class TieredProvider:
+    def update(self, added, removed):
+        return {}
+
+    def update_arrays(self, added, removed):
+        return (), ()
+
+    def update_slots(self, added_slots, removed):
+        return (), (), ()
+
+    def rates(self, active):
+        # the shim reaches update() transitively, through _sync()
+        return self._sync(active)
+
+    def _sync(self, active):
+        return dict(self.update(list(active), []))
+
+    def reset(self):
+        pass
+
+
+class InheritedArrays(TieredProvider):
+    """update_slots is fine here: update_arrays comes from the base class."""
+
+    def update_slots(self, added_slots, removed):
+        return (), (), ()

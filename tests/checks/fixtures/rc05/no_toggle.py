@@ -1,0 +1,5 @@
+"""A plain module: listed in the stale manifest but has no toggle."""
+
+
+def price(components):
+    return list(components)

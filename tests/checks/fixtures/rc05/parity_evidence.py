@@ -1,0 +1,1 @@
+"""Stands in for a scalar-vs-array property-test file in the fixtures."""

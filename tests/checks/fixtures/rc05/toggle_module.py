@@ -1,0 +1,5 @@
+"""Seeded RC05 violation: a vectorized toggle outside the manifest."""
+
+
+def price(components, vectorized=False):
+    return list(components) if vectorized else [c for c in components]

@@ -1,0 +1,10 @@
+"""Seeded RC06 violations: hand-rolled trajectory writes."""
+
+import json
+
+BENCH_RESULTS = "BENCH_fixture.json"
+
+
+def publish(record):
+    with open(BENCH_RESULTS, "a") as handle:
+        json.dump(record, handle)

@@ -1,0 +1,5 @@
+"""Clean twin: results flow through the shared emit fixture."""
+
+
+def test_fixture_benchmark(emit):
+    emit("fixture benchmark report", record={"metric": 1.0})

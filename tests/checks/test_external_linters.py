@@ -1,0 +1,32 @@
+"""Run ruff and mypy when they are installed (the CI static-analysis gate).
+
+The container baking the tier-1 environment ships neither tool — the tests
+skip there.  CI's ``static-analysis`` job installs both (``repro[lint]``)
+and runs them directly; these tests exist so a contributor with the lint
+extra installed gets the same gate from plain ``pytest``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_floor_is_clean():
+    proc = subprocess.run(
+        ["ruff", "check", "src", "tests", "benchmarks"],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_typed_core_is_clean():
+    proc = subprocess.run(
+        ["mypy"], cwd=REPO_ROOT, capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stdout + proc.stderr

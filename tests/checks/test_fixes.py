@@ -1,0 +1,70 @@
+"""Unit tests of the RC02 import rewriter behind ``repro check --fix``."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.checks import rewrite_numpy_imports
+from repro.checks.fixes import fix_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+class TestRewrite:
+    def test_np_alias_form(self):
+        fixed, n = rewrite_numpy_imports("import numpy as np\n")
+        assert (fixed, n) == ("from repro._numpy import np\n", 1)
+
+    def test_bare_import_keeps_the_bound_name(self):
+        fixed, n = rewrite_numpy_imports("import numpy\n")
+        assert (fixed, n) == ("from repro._numpy import np as numpy\n", 1)
+
+    def test_custom_alias_is_preserved(self):
+        fixed, n = rewrite_numpy_imports("import numpy as xp\n")
+        assert (fixed, n) == ("from repro._numpy import np as xp\n", 1)
+
+    def test_indentation_and_trailing_comment_survive(self):
+        source = "def lazy():\n    import numpy as np  # deferred\n"
+        fixed, n = rewrite_numpy_imports(source)
+        assert n == 1
+        assert fixed == ("def lazy():\n"
+                         "    from repro._numpy import np  # deferred\n")
+
+    def test_stale_suppression_comment_is_dropped(self):
+        source = "import numpy as np  # repro-check: ignore[RC02]\n"
+        fixed, n = rewrite_numpy_imports(source)
+        assert (fixed, n) == ("from repro._numpy import np\n", 1)
+
+    def test_from_imports_and_multi_alias_are_left_alone(self):
+        for source in ("from numpy import linalg\n",
+                       "import numpy, json\n",
+                       "import numpy.linalg\n"):
+            fixed, n = rewrite_numpy_imports(source)
+            assert (fixed, n) == (source, 0)
+
+    def test_unparsable_source_is_untouched(self):
+        source = "def half(:\n"
+        assert rewrite_numpy_imports(source) == (source, 0)
+
+
+class TestFixPaths:
+    def test_rewrites_in_place_and_reports_counts(self, tmp_path):
+        target = tmp_path / "stats.py"
+        target.write_text("import numpy as np\nX = np.zeros(3)\n",
+                          encoding="utf-8")
+        changed = fix_paths([target])
+        assert changed == [(target, 1)]
+        assert target.read_text().startswith("from repro._numpy import np\n")
+
+    def test_guard_module_itself_is_never_rewritten(self, tmp_path):
+        guard = tmp_path / "_numpy.py"
+        guard.write_text("import numpy as np\n", encoding="utf-8")
+        assert fix_paths([guard]) == []
+        assert guard.read_text() == "import numpy as np\n"
+
+    def test_clean_files_are_not_touched(self, tmp_path):
+        target = tmp_path / "clean.py"
+        target.write_text("from repro._numpy import np\n", encoding="utf-8")
+        before = target.stat().st_mtime_ns
+        assert fix_paths([target]) == []
+        assert target.stat().st_mtime_ns == before

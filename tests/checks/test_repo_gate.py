@@ -1,0 +1,47 @@
+"""The acceptance gate itself: the real tree is clean, and doc drift fails.
+
+These are the two properties the CI ``static-analysis`` job relies on:
+``repro check src tests benchmarks`` exits 0 on the maintained tree, and
+removing a record kind's row from ``docs/trace-format.md`` makes RC01 fire.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.checks import run_check
+from repro.checks.trace_kinds import TraceKindChecker
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+RECORDS = REPO_ROOT / "src" / "repro" / "trace" / "records.py"
+
+
+class TestRepoGate:
+    def test_maintained_tree_has_no_findings(self):
+        findings, ctx = run_check(
+            [REPO_ROOT / "src", REPO_ROOT / "tests", REPO_ROOT / "benchmarks"],
+            root=REPO_ROOT)
+        assert [f.format() for f in findings] == []
+        assert len(ctx.modules) > 100  # the whole tree really was scanned
+
+    def test_registry_and_real_doc_are_in_sync(self):
+        findings, _ = run_check([RECORDS], root=REPO_ROOT,
+                                checkers=[TraceKindChecker])
+        assert findings == []
+
+
+class TestDocDrift:
+    def test_removing_a_documented_kind_fails_rc01(self, tmp_path):
+        doc = REPO_ROOT / "docs" / "trace-format.md"
+        pristine = doc.read_text(encoding="utf-8")
+        kept = [line for line in pristine.splitlines(keepends=True)
+                if "`calendar.flush`" not in line]
+        assert len(kept) == len(pristine.splitlines()) - 1
+        drifted = tmp_path / "trace-format.md"
+        drifted.write_text("".join(kept), encoding="utf-8")
+        findings, _ = run_check([RECORDS], root=REPO_ROOT,
+                                checkers=[TraceKindChecker],
+                                trace_doc=drifted)
+        assert [(f.path, f.code) for f in findings] == \
+            [("src/repro/trace/records.py", "RC01")]
+        assert "'calendar.flush'" in findings[0].message

@@ -13,7 +13,6 @@ from repro.core import (
 )
 from repro.network import ClusterEmulator
 from repro.scheme import figure2_schemes, figure4_scheme, figure5_graph, mk1_tree, mk2_complete
-from repro.units import MB
 
 
 @pytest.fixture

@@ -6,7 +6,6 @@ import pytest
 
 from repro.core import (
     FairShareModel,
-    InfinibandModel,
     InfinibandParameters,
     KimLeeModel,
     LinearCostModel,

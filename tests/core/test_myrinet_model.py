@@ -11,7 +11,7 @@ from repro.core import ConflictRule, MyrinetModel
 from repro.core.graph import CommunicationGraph
 from repro.core.myrinet_model import maximal_independent_sets
 from repro.exceptions import ModelError
-from repro.scheme import figure2_schemes, figure5_graph, mk2_complete
+from repro.scheme import figure2_schemes, mk2_complete
 from repro.workloads.synthetic import random_graph_scheme
 
 

@@ -10,12 +10,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import compare_reports, compare_times, paper_penalties
+from repro.analysis import compare_reports, compare_times
 from repro.benchmark import ExperimentRunner, PenaltyTool
 from repro.cluster import custom_cluster
 from repro.core import (
     GigabitEthernetModel,
-    InfinibandModel,
     LinearCostModel,
     MyrinetModel,
     NoContentionModel,
@@ -23,7 +22,6 @@ from repro.core import (
 from repro.scheme import figure2_schemes, figure4_scheme, mk1_tree, mk2_complete
 from repro.simulator import Simulator
 from repro.workloads import generate_linpack
-from repro.units import MB
 
 
 class TestFigure2Pipeline:

@@ -47,6 +47,10 @@ class DeltaEcho:
             changed[transfer.transfer_id] = self.rate
         return changed
 
+    # constant-rate test double: rates() and update() return the same
+    # literal value, so the shim rule's drift hazard cannot arise, and
+    # routing through update() would pollute the update-call ledger
+    # repro-check: ignore[RC04] — deliberate independent rates() in a test double
     def rates(self, active):
         return {t.transfer_id: self.rate for t in active}
 

@@ -59,6 +59,9 @@ class ScriptedDelta:
             changed[transfer.transfer_id] = rate
         return changed
 
+    # scripted test double: both entry points price from the same _rate()
+    # script, and the tests count calls to each path separately
+    # repro-check: ignore[RC04] — deliberate independent rates() in a test double
     def rates(self, active):
         self.calls += 1
         rate = self._rate()
@@ -413,6 +416,9 @@ class ArraysTierDelta(TieredDelta):
 
 
 class SlotTierDelta(TieredDelta):
+    # single-tier on purpose: this double isolates the slot-handle tier, so
+    # the rate-scale fallback test below must land on the dict path
+    # repro-check: ignore[RC04] — deliberate slots-without-arrays test double
     def update_slots(self, added, added_slots, removed):
         rates = self._apply(added, removed, added_slots)
         slots = np.fromiter((self.slot_handles[t] for t in self.tracked),

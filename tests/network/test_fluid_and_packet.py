@@ -8,7 +8,6 @@ from repro.exceptions import SimulationError
 from repro.network import (
     CreditBasedNetwork,
     FluidTransferSimulator,
-    GIGABIT_ETHERNET,
     INFINIBAND_INFINIHOST3,
     MYRINET_2000,
     StopAndGoNetwork,

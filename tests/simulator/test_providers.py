@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core import FairShareModel, GigabitEthernetModel, PenaltyCache
 from repro.network.fluid import FluidTransferSimulator, Transfer
