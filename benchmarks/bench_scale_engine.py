@@ -740,7 +740,8 @@ CAL_BOOKKEEPING_ROUNDS = 50
 #: (milliseconds), so a couple of extra repeats buy a stable minimum
 CAL_REPEATS = 5
 #: heap-strategy counters — legitimately differ between the two paths
-CAL_STRATEGY_COUNTERS = ("bulk_merges", "bulk_entries")
+CAL_STRATEGY_COUNTERS = ("bulk_merges", "bulk_entries", "handoff_tier_slots",
+                         "handoff_tier_arrays", "handoff_tier_dict")
 
 
 def run_calendar_bookkeeping(num_flights: int, vectorized: bool,
@@ -815,6 +816,10 @@ def test_calendar_bookkeeping(emit, num_hosts):
     retimed = max(1, array_stats["retimed"])
     heap_pops = array_stats["stale_entries"] + array_stats["completions"]
     speedup = scalar_time / array_time if array_time > 0 else float("inf")
+    slot_fraction = array_stats["handoff_tier_slots"] / flushes
+    # CI guard: the fastest tier must actually carry the steady state — the
+    # vectorized run may not quietly downgrade to array/dict handoffs
+    assert slot_fraction >= 0.9, array_stats
 
     lines = [
         f"calendar bookkeeping: {num_hosts} flights, "
@@ -832,7 +837,8 @@ def test_calendar_bookkeeping(emit, num_hosts):
         (f"retimes/event: {retimed / flushes:.1f}   "
          f"heap pushes/event: {retimed / flushes:.1f}   "
          f"heap pops/event: {heap_pops / flushes:.1f}   "
-         f"bulk merges: {array_stats['bulk_merges']}"),
+         f"bulk merges: {array_stats['bulk_merges']}   "
+         f"slot-tier flushes: {slot_fraction:.0%}"),
         f"bookkeeping speedup: {speedup:.1f}x   (completions and work "
         "counters identical)",
     ]
@@ -852,6 +858,10 @@ def test_calendar_bookkeeping(emit, num_hosts):
         "bulk_merges": array_stats["bulk_merges"],
         "bulk_entries": array_stats["bulk_entries"],
         "compactions": array_stats["compactions"],
+        "handoff_tier_slots": array_stats["handoff_tier_slots"],
+        "handoff_tier_arrays": array_stats["handoff_tier_arrays"],
+        "handoff_tier_dict": array_stats["handoff_tier_dict"],
+        "slot_tier_fraction": round(slot_fraction, 4),
         "speedup": round(speedup, 2),
     }
     emit(f"calendar_bookkeeping_{num_hosts}", "\n".join(lines), record=record,
@@ -864,6 +874,79 @@ def test_calendar_bookkeeping(emit, num_hosts):
     # (typically ~1.6×) — keeps a conservative regression bound a loaded
     # CI runner cannot invert
     assert speedup >= (3.0 if num_hosts >= 1024 else 1.25), record
+
+
+# ------------------------------------------------------------ timeline drain
+def test_timeline_drain_microbench(emit):
+    """Batched due-event drain on barrier-synchronous compute waves.
+
+    Every round, all ranks finish an identical compute at the same horizon
+    and hit a barrier — the worst case for the historical per-entry
+    ``heappop`` loop (one sift per rank per round) and the best case for the
+    partition+heapify bulk sweep.  The section records how much of the
+    timeline traffic the bulk path absorbed (pops/event, bulk-drain ratio)
+    alongside the wall clock.
+    """
+    from repro.cluster import custom_cluster
+    from repro.simulator import Application, Simulator
+
+    num_ranks, rounds = 256, 12
+    app = Application(num_tasks=num_ranks, name="drain-bench")
+    for _ in range(rounds):
+        for rank in range(num_ranks):
+            app.add_compute(rank, duration=0.01)
+        app.add_barrier()
+    cluster = custom_cluster(num_nodes=num_ranks, cores_per_node=1,
+                             technology="ethernet")
+
+    best = float("inf")
+    stats = None
+    for _ in range(REPEATS):
+        provider = ModelRateProvider(GigabitEthernetModel(), "ethernet")
+        simulator = Simulator(cluster, provider)
+        started = time.perf_counter()
+        report = simulator.run(app, placement="RRN")
+        best = min(best, time.perf_counter() - started)
+        assert report.total_time > 0
+        snapshot = simulator.last_engine_stats.as_dict()
+        assert stats is None or stats == snapshot  # counters are deterministic
+        stats = snapshot
+
+    total_events = num_ranks * rounds  # every compute surfaces exactly once
+    drained_bulk = stats["timeline_bulk_drained"]
+    single_pops = total_events - drained_bulk
+    bulk_ratio = drained_bulk / total_events
+    pops_per_event = single_pops / total_events
+
+    lines = [
+        f"timeline drain: {num_ranks} ranks x {rounds} barrier-synchronous "
+        f"compute rounds ({total_events} timeline events)",
+        "",
+        f"wall clock (best of {REPEATS}): {best:.3f} s",
+        (f"bulk drains: {stats['timeline_bulk_drains']}   "
+         f"entries via bulk sweep: {drained_bulk} "
+         f"({bulk_ratio:.0%})   per-entry heappops/event: "
+         f"{pops_per_event:.2f}"),
+    ]
+    record = {
+        "benchmark": "bench_scale_engine/timeline_drain",
+        "num_ranks": num_ranks,
+        "rounds": rounds,
+        "timeline_events": total_events,
+        "repeats": REPEATS,
+        "wall_clock_s": round(best, 4),
+        "timeline_bulk_drains": stats["timeline_bulk_drains"],
+        "timeline_bulk_drained": drained_bulk,
+        "bulk_drain_ratio": round(bulk_ratio, 4),
+        "pops_per_event": round(pops_per_event, 2),
+        "us_per_event": round(best / total_events * 1e6, 2),
+    }
+    emit("timeline_drain", "\n".join(lines), record=record,
+         bench_json=BENCH_JSON)
+    # the same-horizon waves must actually take the bulk path: every round's
+    # compute batch beyond the pop threshold lands in one sweep
+    assert stats["timeline_bulk_drains"] >= rounds, record
+    assert bulk_ratio >= 0.5, record
 
 
 # --------------------------------------------------------- metrics overhead

@@ -11,6 +11,14 @@ provider from quietly landing outside the contract:
   it silently drops to the dict tier and the "no hash gather" claim is
   void.  (Deliberate single-tier *test* providers suppress with a
   rationale.)
+* **slots-invariant-methods** — a class speaking the slot tier must also
+  maintain the slot-map invariant method set: ``update`` (the calendar's
+  stall retry re-registers handles through the departure+arrival cycle,
+  and a scale window downgrades to the dict tier mid-run) and ``reset``
+  (the :meth:`~repro.network.fluid.TransferCalendar.reprice` that ends a
+  scale window re-seeds every handle through reset + full re-add).
+  Without both, a slot provider's handle bookkeeping cannot survive those
+  calendar paths.
 * **rates-is-a-shim** — a class defining both ``update`` and ``rates`` must
   route ``rates`` through ``update`` (directly or via helpers reachable by
   ``self.``-calls): two independent pricing paths are exactly the drift the
@@ -80,7 +88,8 @@ class DeltaContractChecker(Checker):
     code = "RC04"
     name = "delta-contract"
     description = ("RateProvider structure: update_slots implies "
-                   "update_arrays; rates() must be a shim over update(); "
+                   "update_arrays and the slot-map invariant methods "
+                   "(update/reset); rates() must be a shim over update(); "
                    "reset() must be zero-arg")
 
     def visit_module(self, ctx: CheckContext, module: ParsedModule) -> None:
@@ -128,6 +137,18 @@ class DeltaContractChecker(Checker):
                        "update_arrays(): with a rate-scale hook installed "
                        "the calendar skips the slot tier and needs the "
                        "array tier to fall back to")
+        if "update_slots" in effective:
+            missing = [m for m in ("update", "reset") if m not in effective]
+            if missing:
+                anchor = own.get("update_slots")
+                ctx.report(module,
+                           anchor.lineno if anchor is not None else cls.lineno,
+                           self.code,
+                           f"class {cls.name!r} defines update_slots() "
+                           "without the slot-map invariant method set "
+                           f"(missing: {', '.join(missing)}); stall retries "
+                           "and the reprice ending a rate-scale window "
+                           "re-seed slot handles through update()/reset()")
         if "update" in effective and "rates" in effective:
             if not self._reaches_update(effective):
                 anchor = own.get("rates") or own.get("update")

@@ -278,6 +278,11 @@ class IncrementalPenaltyEngine:
         #: intra-node arrivals since the last refresh (priced 1.0 on add, but
         #: still "re-priced" as far as the delta contract is concerned)
         self._fresh_intra: Set[str] = set()
+        #: opaque caller handles stored at add() time, returned alongside the
+        #: re-priced set by refresh_handles() — the slot-tier rate providers
+        #: stash (tid, slot, is_intra) here so no per-flush hash gather is
+        #: needed to translate names back into calendar slots
+        self._handles: Dict[str, object] = {}
         #: repro.obs phase timer around dirty-component pricing; installed by
         #: set_metrics(), one pointer test per refresh when absent
         self._pricing_timer = None
@@ -313,10 +318,17 @@ class IncrementalPenaltyEngine:
         return self._members.pop(comp_id)
 
     # ------------------------------------------------------------------ delta
-    def add(self, comm: Communication) -> None:
-        """Apply one flow arrival."""
+    def add(self, comm: Communication, handle: object = None) -> None:
+        """Apply one flow arrival.
+
+        ``handle`` is an opaque caller token stored under ``comm.name`` and
+        handed back by :meth:`refresh_handles` whenever the flow is
+        re-priced (slot-tier providers pass ``(tid, slot, is_intra)``).
+        """
         self.graph.add(comm)
         self.stats.events += 1
+        if handle is not None:
+            self._handles[comm.name] = handle
         if comm.is_intra_node:
             # per the ContentionModel.penalties contract, intra-node
             # communications are always penalty 1.0 (they never use the NIC)
@@ -338,6 +350,7 @@ class IncrementalPenaltyEngine:
         comm = self.graph.remove(name)
         self.stats.events += 1
         self._penalties.pop(name, None)
+        self._handles.pop(name, None)
         if comm.is_intra_node:
             self._fresh_intra.discard(name)
             return
@@ -438,6 +451,29 @@ class IncrementalPenaltyEngine:
         values = np.fromiter((penalties[name] for name in names),
                              dtype=np.float64, count=len(names))
         return names, values
+
+    def refresh_handles(self) -> Tuple[List[object], "np.ndarray"]:
+        """:meth:`refresh_arrays` keyed by stored handles: ``(handles, penalties)``.
+
+        Same re-priced set, same iteration order, but the name list is
+        replaced by the opaque handles registered at :meth:`add` time — the
+        slot-tier handoff, where the caller already encoded everything it
+        needs (tid, slot, intra flag) in the handle and no name→tid→slot
+        hash gathers happen per flush.  Every member of the re-priced set
+        must have been added with a handle.
+        """
+        repriced: Set[str] = set(self._fresh_intra)
+        for comp_id in self._dirty:
+            repriced.update(self._members[comp_id])
+        self._price_dirty()
+        self._fresh_intra.clear()
+        names = list(repriced)
+        handles_of = self._handles
+        handles = [handles_of[name] for name in names]
+        penalties = self._penalties
+        values = np.fromiter((penalties[name] for name in names),
+                             dtype=np.float64, count=len(names))
+        return handles, values
 
     def _price_dirty(self) -> None:
         """Evaluate every dirty component (through the cache) and clear the set."""
@@ -580,6 +616,7 @@ class IncrementalPenaltyEngine:
         self._dirty.clear()
         self._penalties.clear()
         self._fresh_intra.clear()
+        self._handles.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

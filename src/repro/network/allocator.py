@@ -454,12 +454,15 @@ class EmulatorRateProvider:
         self._resources_of_tid = {}
         self._counts = {}
 
-    def _track(self, transfer: Transfer) -> Tuple[int, int]:
+    def _track(self, transfer: Transfer,
+               slot: Optional[int] = None) -> Tuple[int, int]:
         tid = transfer.transfer_id
         pair = (transfer.src, transfer.dst)
         self._active[tid] = transfer
         self._pair_of_tid[tid] = pair
-        self._tids_of_pair.setdefault(pair, {})[tid] = None
+        # the bucket value is the transfer's calendar flight slot (slot tier
+        # only; None on the dict/array tiers, which never read the values)
+        self._tids_of_pair.setdefault(pair, {})[tid] = slot
         bisect.insort(self._sorted_pairs, pair)
         resources = self._resources_for(transfer)
         self._resources_of_tid[tid] = (
@@ -513,19 +516,7 @@ class EmulatorRateProvider:
         changes, so a rejected call leaves the tracked set untouched and the
         caller can retry.
         """
-        departing = set()
-        for tid in removed:
-            if tid not in self._active or tid in departing:
-                raise SimulationError(f"unknown transfer {tid!r} removed from rate set")
-            departing.add(tid)
-        remaining = set(self._active) - departing
-        for transfer in added:
-            tid = transfer.transfer_id
-            if tid in remaining:
-                raise SimulationError(f"transfer {tid!r} added to the rate set twice")
-            remaining.add(tid)
-            self.topology.check_host(transfer.src)
-            self.topology.check_host(transfer.dst)
+        self._validate_delta(added, removed)
         changed_pairs: List[Tuple[int, int]] = []
         for tid in removed:
             changed_pairs.append(self._untrack(tid))
@@ -539,50 +530,132 @@ class EmulatorRateProvider:
             return {}
         return self._allocate(changed_pairs, added_tids)
 
+    def update_arrays(
+        self, added: Sequence[Transfer], removed: Sequence[Hashable]
+    ):
+        """:meth:`update` with an array payload: ``(tids, rates)``.
+
+        Same re-priced membership in the same order as the dict tier — the
+        per-pair value diff already walks the changed set once, so the array
+        tier is a zero-copy re-shape of its result, not a second path.
+        """
+        changed = self.update(added, removed)
+        rates = np.fromiter(changed.values(), dtype=np.float64,
+                            count=len(changed))
+        return list(changed.keys()), rates
+
+    def update_slots(
+        self, added: Sequence[Transfer], added_slots: Sequence[int],
+        removed: Sequence[Hashable]
+    ):
+        """:meth:`update_arrays` with slot handles: ``(tids, slots, rates)``.
+
+        The caller's flight slots ride the endpoint-pair buckets (stored as
+        the bucket values at :meth:`_track` time), so the warm-started
+        water-fill's changed-value diff comes back slot-aligned — the
+        calendar applies it by direct array indexing with zero per-flush
+        hash gathers.  Membership, order and float64 values are identical
+        to the dict and array tiers.
+        """
+        self._validate_delta(added, removed)
+        changed_pairs: List[Tuple[int, int]] = []
+        for tid in removed:
+            changed_pairs.append(self._untrack(tid))
+        added_tids: List[Hashable] = []
+        for transfer, slot in zip(added, added_slots):
+            changed_pairs.append(self._track(transfer, slot))
+            added_tids.append(transfer.transfer_id)
+        if not self._active:
+            self._last_by_pair = {}
+            self._primed = True
+            return [], np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64)
+        return self._allocate_slots(changed_pairs, added_tids)
+
+    def _validate_delta(
+        self, added: Sequence[Transfer], removed: Sequence[Hashable]
+    ) -> None:
+        """Validate a whole delta (membership and hosts) before any mutation."""
+        departing = set()
+        for tid in removed:
+            if tid not in self._active or tid in departing:
+                raise SimulationError(f"unknown transfer {tid!r} removed from rate set")
+            departing.add(tid)
+        remaining = set(self._active) - departing
+        for transfer in added:
+            tid = transfer.transfer_id
+            if tid in remaining:
+                raise SimulationError(f"transfer {tid!r} added to the rate set twice")
+            remaining.add(tid)
+            self.topology.check_host(transfer.src)
+            self.topology.check_host(transfer.dst)
+
+    def _price_situation(
+        self, changed_pairs: Sequence[Tuple[int, int]]
+    ) -> Tuple[Optional[Dict[Tuple[int, int], float]],
+               Optional[Dict[Hashable, float]]]:
+        """Memoized per-pair allocation of the tracked situation.
+
+        Returns ``(by_pair, None)`` normally; ``(None, rates)`` when the
+        solver broke same-endpoint symmetry (rare) — the caller must then
+        value-diff per transfer, and the solution is not memoized.
+        """
+        key = self._situation_key()
+        by_pair = self._rate_cache.get(key)
+        if by_pair is not None:
+            self.cache_hits += 1
+            return by_pair, None
+        self.cache_misses += 1
+        active = list(self._active.values())
+        rates = self._solve_incremental(active, changed_pairs)
+        by_pair = {}
+        for transfer in active:
+            pair = self._pair_of_tid[transfer.transfer_id]
+            rate = rates[transfer.transfer_id]
+            if pair in by_pair and by_pair[pair] != rate:
+                return None, rates  # solver broke same-endpoint symmetry
+            by_pair[pair] = rate
+        self._rate_cache.put(key, by_pair)
+        return by_pair, None
+
+    def _changed_pair_set(
+        self, by_pair: Dict[Tuple[int, int], float]
+    ) -> Set[Tuple[int, int]]:
+        """Pairs whose rate differs from the value-diff baseline.
+
+        Constructed identically on every tier (same elements, same insertion
+        history), so its iteration order — and with it the downstream
+        changed-set order the calendar's seq assignment relies on — is
+        tier-independent.
+        """
+        previous = self._last_by_pair
+        if previous is None:
+            return set(by_pair)
+        return {
+            pair for pair, rate in by_pair.items()
+            if previous.get(pair) != rate
+        }
+
     def _allocate(
         self,
         changed_pairs: Sequence[Tuple[int, int]],
         added_tids: Sequence[Hashable],
     ) -> Dict[Hashable, float]:
         """Price the tracked situation and report the changed rates."""
-        key = self._situation_key()
-        by_pair = self._rate_cache.get(key)
-        if by_pair is not None:
-            self.cache_hits += 1
-        else:
-            self.cache_misses += 1
-            active = list(self._active.values())
-            rates = self._solve_incremental(active, changed_pairs)
-            by_pair = {}
-            for transfer in active:
-                pair = self._pair_of_tid[transfer.transfer_id]
-                rate = rates[transfer.transfer_id]
-                if pair in by_pair and by_pair[pair] != rate:
-                    by_pair = None  # solver broke same-endpoint symmetry
-                    break
-                by_pair[pair] = rate
-            if by_pair is None:
-                # rare fallback: diff (and store) rates per transfer
-                changed = {}
-                for tid, rate in rates.items():
-                    if self._rates_by_tid.get(tid) != rate:
-                        changed[tid] = rate
-                        self._rates_by_tid[tid] = rate
-                for tid in added_tids:
-                    changed.setdefault(tid, rates[tid])
-                self._last_by_pair = None
-                self._primed = True
-                return changed
-            self._rate_cache.put(key, by_pair)
+        by_pair, raw = self._price_situation(changed_pairs)
+        if by_pair is None:
+            # rare fallback: diff (and store) rates per transfer
+            changed = {}
+            for tid, rate in raw.items():
+                if self._rates_by_tid.get(tid) != rate:
+                    changed[tid] = rate
+                    self._rates_by_tid[tid] = rate
+            for tid in added_tids:
+                changed.setdefault(tid, raw[tid])
+            self._last_by_pair = None
+            self._primed = True
+            return changed
 
-        previous = self._last_by_pair
-        if previous is None:
-            changed_pair_set = set(by_pair)
-        else:
-            changed_pair_set = {
-                pair for pair, rate in by_pair.items()
-                if previous.get(pair) != rate
-            }
+        changed_pair_set = self._changed_pair_set(by_pair)
         changed: Dict[Hashable, float] = {}
         for pair in changed_pair_set:
             rate = by_pair[pair]
@@ -597,6 +670,65 @@ class EmulatorRateProvider:
         self._last_by_pair = by_pair
         self._primed = True
         return changed
+
+    def _allocate_slots(
+        self,
+        changed_pairs: Sequence[Tuple[int, int]],
+        added_tids: Sequence[Hashable],
+    ):
+        """Slot-aligned :meth:`_allocate`: parallel ``(tids, slots, rates)``.
+
+        Walks the same changed-pair set in the same order, but reads each
+        transfer's flight slot out of the endpoint buckets while walking —
+        no per-tid hash gather happens afterwards.
+        """
+        tids: List[Hashable] = []
+        slot_list: List[int] = []
+        rate_list: List[float] = []
+        by_pair, raw = self._price_situation(changed_pairs)
+        if by_pair is None:
+            # rare fallback: per-transfer diff, slots read from the buckets
+            tids_of_pair = self._tids_of_pair
+            pair_of_tid = self._pair_of_tid
+            for tid, rate in raw.items():
+                if self._rates_by_tid.get(tid) != rate:
+                    tids.append(tid)
+                    slot_list.append(tids_of_pair[pair_of_tid[tid]][tid])
+                    rate_list.append(rate)
+                    self._rates_by_tid[tid] = rate
+            emitted = set(tids)
+            for tid in added_tids:
+                if tid not in emitted:
+                    tids.append(tid)
+                    slot_list.append(tids_of_pair[pair_of_tid[tid]][tid])
+                    rate_list.append(raw[tid])
+            self._last_by_pair = None
+            self._primed = True
+            return (tids, np.asarray(slot_list, dtype=np.intp),
+                    np.asarray(rate_list, dtype=np.float64))
+
+        changed_pair_set = self._changed_pair_set(by_pair)
+        for pair in changed_pair_set:
+            rate = by_pair[pair]
+            for tid, slot in self._tids_of_pair.get(pair, {}).items():
+                tids.append(tid)
+                slot_list.append(slot)
+                rate_list.append(rate)
+                self._rates_by_tid[tid] = rate
+        for tid in added_tids:
+            # an added tid is in the emitted set iff its pair's bucket was
+            # walked above (every bucket member of a changed pair is emitted)
+            pair = self._pair_of_tid[tid]
+            if pair not in changed_pair_set:
+                rate = by_pair[pair]
+                tids.append(tid)
+                slot_list.append(self._tids_of_pair[pair][tid])
+                rate_list.append(rate)
+                self._rates_by_tid[tid] = rate
+        self._last_by_pair = by_pair
+        self._primed = True
+        return (tids, np.asarray(slot_list, dtype=np.intp),
+                np.asarray(rate_list, dtype=np.float64))
 
     def rates(self, active: Sequence[Transfer]) -> Dict[Hashable, float]:
         """Instantaneous rate of every active transfer, in bytes per second.

@@ -56,11 +56,23 @@ vectorized and untraced:
   the provider must report only transfers it was handed and not yet
   removed.  When a rate-scale hook is installed the calendar skips this
   tier (scaling needs the per-id path), falling back to
-  ``update_arrays`` or ``update``.
+  ``update_arrays`` or ``update``; the :meth:`TransferCalendar.reprice`
+  that accompanies clearing the scale re-seeds the handles and re-enters
+  the slot tier.  Stall retries and reprices ride the same tier as
+  ordinary flushes, so a slot-tier provider's handle bookkeeping stays
+  consistent through the departure+arrival retry cycle.
 
-All three tiers are bit-exact with one another: they must report the same
-transfers in the same order with identical float64 values, which the
-calendar turns into identical epoch bumps, seq numbers and heap entries.
+Both built-in providers speak all three tiers
+(:class:`repro.simulator.providers.ModelRateProvider` threads slot handles
+through the incremental pricing engine's component bookkeeping;
+:class:`repro.network.allocator.EmulatorRateProvider` stores them in its
+endpoint-pair buckets).  All three tiers are bit-exact with one another:
+they must report the same transfers in the same order with identical
+float64 values, which the calendar turns into identical epoch bumps, seq
+numbers and heap entries.  Which tier served each flush is counted in
+``CalendarStats.handoff_tier_slots``/``_arrays``/``_dict``.  The full tier
+contract, including slot-map ownership rules, is documented in
+``docs/delta-handoff.md``.
 
 Calendar invariants
 -------------------
@@ -400,6 +412,9 @@ class CalendarStatsSnapshot(SnapshotBase):
     stall_retries: int = 0
     bulk_merges: int = 0
     bulk_entries: int = 0
+    handoff_tier_slots: int = 0
+    handoff_tier_arrays: int = 0
+    handoff_tier_dict: int = 0
 
 
 @dataclass
@@ -431,6 +446,11 @@ class CalendarStats:
     bulk_merges: int = 0
     #: heap entries inserted through bulk merges (⊆ ``retimed``)
     bulk_entries: int = 0
+    #: flushes served by each provider handoff tier (slots/arrays/dict);
+    #: strategy counters — they differ between scalar and vectorized runs
+    handoff_tier_slots: int = 0
+    handoff_tier_arrays: int = 0
+    handoff_tier_dict: int = 0
 
     def freeze(self) -> CalendarStatsSnapshot:
         """Typed immutable snapshot of the current counter values."""
@@ -447,6 +467,9 @@ class CalendarStats:
             stall_retries=self.stall_retries,
             bulk_merges=self.bulk_merges,
             bulk_entries=self.bulk_entries,
+            handoff_tier_slots=self.handoff_tier_slots,
+            handoff_tier_arrays=self.handoff_tier_arrays,
+            handoff_tier_dict=self.handoff_tier_dict,
         )
 
     def snapshot(self) -> Dict[str, int]:
@@ -742,6 +765,11 @@ class TransferCalendar:
         installed function must be pure and may only change together with a
         :meth:`reprice` call — otherwise already-applied rates would keep the
         old scale.  ``None`` restores the unscaled (bit-exact) path.
+
+        While a scale is installed, flushes skip the slot tier (scaling
+        needs the per-id path); the :meth:`reprice` that accompanies
+        clearing the scale re-seeds the provider's slot handles, so the
+        downgrade lasts exactly as long as the scale window.
         """
         self._rate_scale = scale
 
@@ -929,6 +957,10 @@ class TransferCalendar:
                 self._pending_added.clear()
                 self._pending_removed.clear()
                 self.stats.flushes += 1
+                if slots is not None:
+                    self.stats.handoff_tier_slots += 1
+                else:
+                    self.stats.handoff_tier_arrays += 1
                 self.stats.rate_updates += len(tids)
                 self.stats.active_at_flush += len(self._arr.slots)
                 self._apply_changed_array(tids, rates, now, None, slots=slots)
@@ -953,6 +985,7 @@ class TransferCalendar:
             self._pending_added.clear()
             self._pending_removed.clear()
         self.stats.flushes += 1
+        self.stats.handoff_tier_dict += 1
         self.stats.rate_updates += len(changed)
         self.stats.active_at_flush += self.active_count
         if self._trace is not None:
@@ -1151,8 +1184,18 @@ class TransferCalendar:
                     else:
                         stalled.pop(tid, None)
         old_rate = arr.rate[slots]
-        old_rated = arr.rated[slots]
-        ci = np.nonzero(~(old_rated & (old_rate == rate_new)))[0]
+        if arr.unrated and mn <= 0.0:
+            # a zero rate may land on an unrated flight whose stored rate is
+            # still the initial 0.0 — the only case where "value unchanged"
+            # and "never rated" can disagree, so take the masked form
+            old_rated = arr.rated[slots]
+            ci = np.nonzero(~(old_rated & (old_rate == rate_new)))[0]
+        else:
+            # unrated flights store rate 0.0, so with every new rate
+            # positive (or nothing unrated) the plain value compare selects
+            # the exact same changed set — no full-width rated gather
+            old_rated = None
+            ci = np.nonzero(old_rate != rate_new)[0]
         if not ci.size:
             if trace is not None and stall_new:
                 for i in stall_new:
@@ -1161,15 +1204,15 @@ class TransferCalendar:
             return 0
         cs = slots[ci]
         c_rate_old = old_rate[ci]
-        c_rated_old = old_rated[ci]
         c_rate_new = rate_new[ci]
         # integrate at the old rate up to now (only where the old rate was
         # progressing and time actually advanced — the masked elements keep
         # their remaining untouched, and no arithmetic runs on them, so
-        # inf/0-rate flights raise no spurious fp warnings)
+        # inf/0-rate flights raise no spurious fp warnings; unrated flights
+        # store rate 0.0, so the rate test alone excludes them)
         rem = arr.remaining[cs]
         dt = now - arr.last_update[cs]
-        integrate = c_rated_old & (c_rate_old > 0.0) & (dt > 0.0)
+        integrate = (c_rate_old > 0.0) & (dt > 0.0)
         ni = np.count_nonzero(integrate)
         if ni == rem.size:
             # steady state: every changed flight was progressing — same
@@ -1181,10 +1224,17 @@ class TransferCalendar:
         arr.remaining[cs] = rem
         arr.last_update[cs] = now
         arr.rate[cs] = c_rate_new
-        arr.rated[cs] = True
-        newly_rated = int(ci.size - np.count_nonzero(c_rated_old))
-        if newly_rated:
-            arr.unrated -= newly_rated
+        if arr.unrated:
+            # never-rated bookkeeping on the changed subset only (every
+            # unrated flight of the batch is in ci: its stored 0.0 never
+            # equals a positive new rate, and the zero-rate case took the
+            # masked form above)
+            c_rated_old = old_rated[ci] if old_rated is not None \
+                else arr.rated[cs]
+            arr.rated[cs] = True
+            newly_rated = int(ci.size - np.count_nonzero(c_rated_old))
+            if newly_rated:
+                arr.unrated -= newly_rated
         epochs = arr.epoch[cs] + 1
         arr.epoch[cs] = epochs
         positive = c_rate_new > 0.0
@@ -1203,10 +1253,11 @@ class TransferCalendar:
             entry_tids = itemgetter(*batch_index)(kept_tids)
         else:
             entry_tids = [kept_tids[batch_index[0]]] if m else []
-        # C-level tuple assembly; islice consumes exactly the m sequence
-        # numbers the scalar loop's per-entry next() would
-        entries = list(zip(completions, itertools.islice(self._seq, m),
-                           entry_tids, entry_epochs))
+        # C-level tuple assembly, consumed exactly once below (extend or the
+        # push loop); islice consumes exactly the m sequence numbers the
+        # scalar loop's per-entry next() would
+        entries = zip(completions, itertools.islice(self._seq, m),
+                      entry_tids, entry_epochs)
         if trace is not None and (m or stall_new):
             # replay the scalar loop's record interleaving: per flight in
             # changed order, a stall record (if newly stalled) then a retime
@@ -1263,6 +1314,20 @@ class TransferCalendar:
             transfers = [self._flights[tid].transfer for tid in retry]
         if not retry:
             return
+        if (arr is not None and self._trace is None
+                and self._update_slots is not None
+                and self._rate_scale is None):
+            # slot-tier retry: the departure+arrival cycle must re-register
+            # each flight's slot handle with the provider (a dict-tier
+            # re-add would strand the handle and break later slot flushes);
+            # the flight keeps its store slot, only the provider re-tracks
+            added_slots = [slot_of[tid] for tid in retry]
+            tids, slots, rates = self._update_slots(
+                transfers, added_slots, list(retry))
+            self.stats.stall_retries += len(retry)
+            self.stats.rate_updates += len(tids)
+            self._apply_changed_array(tids, rates, now, None, slots=slots)
+            return
         changed = self.provider.update(transfers, list(retry))
         self.stats.stall_retries += len(retry)
         self.stats.rate_updates += len(changed)
@@ -1284,6 +1349,12 @@ class TransferCalendar:
         this resets the provider's tracked set and re-adds the whole active
         set in one delta; in full-query mode a plain re-query suffices.  Any
         pending delta is flushed first.
+
+        The full re-add goes through the same tier dispatch as
+        :meth:`flush`: once a rate-scale window ends (``set_rate_scale(None)``
+        followed by this call), the reset+re-add re-seeds the provider's
+        slot handles and subsequent flushes re-enter the slot tier instead
+        of staying permanently downgraded.
         """
         self.flush(now)
         if not self.active_count:
@@ -1299,10 +1370,32 @@ class TransferCalendar:
                     "reprice() on a delta provider requires a reset() method"
                 )
             reset()
+            use_slots = (self._update_slots is not None
+                         and self._rate_scale is None)
+            if (self._arr is not None and self._trace is None
+                    and (use_slots or self._update_arrays is not None)):
+                slots = None
+                if use_slots:
+                    # re-seed every flight's slot handle with the freshly
+                    # reset provider, so the slot tier resumes immediately
+                    slot_of = self._arr.slots.slot_of
+                    added_slots = [slot_of[t.transfer_id] for t in transfers]
+                    tids, slots, rates = self._update_slots(
+                        transfers, added_slots, [])
+                    self.stats.handoff_tier_slots += 1
+                else:
+                    tids, rates = self._update_arrays(transfers, [])
+                    self.stats.handoff_tier_arrays += 1
+                self.stats.flushes += 1
+                self.stats.rate_updates += len(tids)
+                self.stats.active_at_flush += self.active_count
+                self._apply_changed_array(tids, rates, now, None, slots=slots)
+                return
             changed: Mapping[Hashable, float] = self.provider.update(transfers, [])
         else:
             changed = self.provider.rates(transfers)
         self.stats.flushes += 1
+        self.stats.handoff_tier_dict += 1
         self.stats.rate_updates += len(changed)
         self.stats.active_at_flush += self.active_count
         if self._trace is not None:
@@ -1372,31 +1465,53 @@ class TransferCalendar:
     def _pop_due_array(self, now: float) -> List[Transfer]:
         # the scalar pop loop over the SoA store; Python-float arithmetic on
         # values read out of the arrays (exact conversions both ways), so the
-        # negligibility decisions match the scalar path bit for bit
+        # negligibility decisions match the scalar path bit for bit.  Every
+        # invariant quantity is hoisted out of the loop (the stale-skip runs
+        # thousands of iterations per call on churn-heavy workloads, where
+        # attribute lookups and call frames dominate); _integrate_slot is
+        # inlined with the identical numpy-scalar arithmetic
         arr = self._arr
         slot_of = arr.slots.slot_of
+        heap = self._heap
+        heappop = heapq.heappop
+        epoch_arr = arr.epoch
+        remaining_arr = arr.remaining
+        rate_arr = arr.rate
+        last_update_arr = arr.last_update
+        rated_arr = arr.rated
+        horizon = now + self.EPSILON
+        eps_bytes = max(self.EPSILON, self.EPSILON_BYTES)
+        clock_resolution = max(abs(now), 1.0) * 1e-12
+        stale = 0
         done: List[Transfer] = []
-        while self._heap:
-            time, _, tid, epoch = self._heap[0]
+        while heap:
+            entry = heap[0]
+            tid = entry[2]
             slot = slot_of.get(tid)
-            if slot is None or arr.epoch[slot] != epoch:
-                heapq.heappop(self._heap)
-                self.stats.stale_entries += 1
+            if slot is None or epoch_arr[slot] != entry[3]:
+                heappop(heap)
+                stale += 1
                 continue
-            if time > now + self.EPSILON:
+            if entry[0] > horizon:
                 break
-            heapq.heappop(self._heap)
-            self._integrate_slot(slot, now)
-            remaining = float(arr.remaining[slot])
-            rate = float(arr.rate[slot])
-            clock_resolution = max(abs(now), 1.0) * 1e-12
+            heappop(heap)
+            if rated_arr[slot]:
+                rate = rate_arr[slot]
+                if rate > 0.0:
+                    dt = now - last_update_arr[slot]
+                    if dt > 0.0:
+                        remaining_arr[slot] = remaining_arr[slot] - rate * dt
+            last_update_arr[slot] = now
+            remaining = float(remaining_arr[slot])
+            rate = float(rate_arr[slot])
             negligible = (
-                remaining <= max(self.EPSILON, self.EPSILON_BYTES)
+                remaining <= eps_bytes
                 or (rate > 0.0 and remaining / rate <= clock_resolution)
             )
             if not negligible:
                 self._retime_slot(tid, slot, now)  # fp drift: try again later
                 self._maybe_compact(now)
+                heap = self._heap  # compaction rebuilds the heap in place
                 continue
             transfer = arr.transfer[slot]
             arr.remove(tid)
@@ -1406,6 +1521,8 @@ class TransferCalendar:
             self.stats.completions += 1
             if self._trace is not None:
                 self._trace.emit(TraceRecord(now, "calendar.complete", tid, {}))
+        if stale:
+            self.stats.stale_entries += stale
         return done
 
 

@@ -45,6 +45,12 @@ ties like the scalar first-minimum scan.  The two paths therefore return
 inputs and weights spanning six orders of magnitude).  ``vectorized=None``
 (the default) auto-dispatches by problem size — safe precisely because the
 two paths cannot disagree.
+
+Downstream, :class:`~repro.network.allocator.EmulatorRateProvider` feeds
+these rates into the calendar's delta handoff; because the solver is
+bit-exact across its own paths, the provider can hand the changed-value
+diff back dict-, array- or slot-aligned (see ``docs/delta-handoff.md``)
+without the tier choice ever leaking into simulated results.
 """
 
 from __future__ import annotations

@@ -62,6 +62,7 @@ import itertools
 from collections import Counter
 from dataclasses import dataclass, field
 from enum import Enum
+from time import perf_counter
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..cluster.placement import Placement
@@ -155,6 +156,8 @@ class EngineStatsSnapshot(SnapshotBase):
     injected_events: int = 0
     background_flows: int = 0
     timeline_bulk_merges: int = 0
+    timeline_bulk_drains: int = 0
+    timeline_bulk_drained: int = 0
     calendar: CalendarStatsSnapshot = field(default_factory=CalendarStatsSnapshot)
 
 
@@ -173,6 +176,11 @@ class EngineLoopStats:
     #: timeline entries merged with one bulk heapify instead of per-entry
     #: pushes (a per-step sweep's computes/readiness transitions coalesced)
     timeline_bulk_merges: int = 0
+    #: due-event sweeps that switched from per-entry heappops to one
+    #: partition + heapify of the remainder (large same-horizon batches)
+    timeline_bulk_drains: int = 0
+    #: timeline entries extracted through bulk drains (⊆ all drained)
+    timeline_bulk_drained: int = 0
     #: calendar counters (rate_updates, retimed, stale_entries, ...) of the run
     calendar: Dict[str, int] = field(default_factory=dict)
 
@@ -184,6 +192,8 @@ class EngineLoopStats:
             injected_events=self.injected_events,
             background_flows=self.background_flows,
             timeline_bulk_merges=self.timeline_bulk_merges,
+            timeline_bulk_drains=self.timeline_bulk_drains,
+            timeline_bulk_drained=self.timeline_bulk_drained,
             calendar=CalendarStatsSnapshot(**self.calendar),
         )
 
@@ -503,6 +513,11 @@ class ExecutionEngine:
         self._calendar: Optional[TransferCalendar] = None
         self._trace = active_sink(self.config.trace)
         self._metrics = self.config.metrics
+        #: repro.obs phase timer around the due-event drain sweep; one
+        #: pointer test per sweep when unmetered, PhaseTimer.due()-sampled
+        #: when metered (same contract as the calendar's flush timer)
+        self._drain_timer = (self._metrics.timer("timeline.drain_s")
+                             if self._metrics is not None else None)
         # sampling needs both a sink (to emit through) and a registry (to
         # snapshot); the untraced/unmetered paths keep a single falsy test
         self._sample_every = (
@@ -824,6 +839,18 @@ class ExecutionEngine:
         return min(times)
 
     def _complete_due_events(self) -> None:
+        # hot path: one attribute read and a None test when unmetered; when
+        # metered, two local perf_counter calls, optionally 1-in-N sampled
+        # through PhaseTimer.due() (same shape as TransferCalendar.flush)
+        timer = self._drain_timer
+        if timer is None or not timer.due():
+            return self._complete_due_events_impl()
+        counter = perf_counter
+        start = counter()
+        self._complete_due_events_impl()
+        timer.observe(counter() - start)
+
+    def _complete_due_events_impl(self) -> None:
         """Fire every calendar entry due at the current time.
 
         Ordering mirrors the historical loop: compute completions first (in
@@ -832,12 +859,46 @@ class ExecutionEngine:
         set for the *next* step's flush.  Background-flow completions only
         update the injection bookkeeping — their departure reaches the
         provider through the calendar's pending delta like any other.
+
+        Large same-horizon batches (a barrier releasing every rank, a bulk
+        readiness wave) are drained with one partition pass plus a heapify
+        of the remainder instead of per-entry ``heappop`` sifts, mirroring
+        the :attr:`TIMELINE_BULK_MIN` merge strategy: entries are popped
+        one at a time until the drained count reaches the bulk threshold
+        *and* a partition scan is amortized by the pops already done, then
+        the remaining due entries are extracted in one sweep.  ``(time,
+        seq)`` heap keys are unique, so sorting the swept-out batch yields
+        exactly the historical pop order — the classification below is
+        bit-exact either way.
         """
         compute_ranks: List[int] = []
         ready_tids: List[int] = []
         inject_indices: List[int] = []
-        while self._timeline and self._timeline[0][0] <= self.now + self.EPSILON:
-            _, _, kind, payload = heapq.heappop(self._timeline)
+        horizon = self.now + self.EPSILON
+        timeline = self._timeline
+        drained = 0
+        while timeline and timeline[0][0] <= horizon:
+            if (drained >= self.TIMELINE_BULK_MIN
+                    and 4 * drained >= len(timeline)):
+                due: List[Tuple[float, int, int, int]] = []
+                keep: List[Tuple[float, int, int, int]] = []
+                for entry in timeline:
+                    (due if entry[0] <= horizon else keep).append(entry)
+                due.sort()
+                heapq.heapify(keep)
+                self._timeline = timeline = keep
+                for _, _, kind, payload in due:
+                    if kind == _COMPUTE:
+                        compute_ranks.append(payload)
+                    elif kind == _READY:
+                        ready_tids.append(payload)
+                    else:
+                        inject_indices.append(payload)
+                self.stats.timeline_bulk_drains += 1
+                self.stats.timeline_bulk_drained += len(due)
+                break
+            _, _, kind, payload = heapq.heappop(timeline)
+            drained += 1
             if kind == _COMPUTE:
                 compute_ranks.append(payload)
             elif kind == _READY:

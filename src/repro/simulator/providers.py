@@ -111,6 +111,9 @@ class ModelRateProvider:
         self._tid_of: Dict[str, Hashable] = {}
         self._rates: Dict[Hashable, float] = {}
         self._full_penalties: Dict[str, float] = {}
+        #: slot handles of the tracked set (full-recompute slot tier only;
+        #: the incremental engine stores handles itself, keyed by name)
+        self._slot_of: Dict[Hashable, int] = {}
 
     @property
     def stats(self) -> EngineStats:
@@ -173,11 +176,18 @@ class ModelRateProvider:
         self._tid_of.clear()
         self._rates.clear()
         self._full_penalties.clear()
+        self._slot_of.clear()
 
     def _apply_delta(
-        self, added: Sequence[Transfer], removed: Sequence[Hashable]
+        self, added: Sequence[Transfer], removed: Sequence[Hashable],
+        added_slots: Sequence[int] | None = None,
     ) -> None:
-        """Validate the whole delta, then apply it to the tracked set."""
+        """Validate the whole delta, then apply it to the tracked set.
+
+        ``added_slots`` (slot tier only) is parallel to ``added``; each
+        arrival's ``(tid, slot, is_intra)`` handle is registered with the
+        incremental engine so re-priced sets come back slot-aligned.
+        """
         departing = set()
         for tid in removed:
             if tid not in self._active or tid in departing:
@@ -195,12 +205,14 @@ class ModelRateProvider:
             self._rates.pop(tid, None)
             if self._engine is not None:
                 self._engine.remove(str(tid))
-        for transfer in added:
+        for index, transfer in enumerate(added):
             tid = transfer.transfer_id
             self._active[tid] = transfer
             self._tid_of[str(tid)] = tid
             if self._engine is not None:
-                self._engine.add(self._communication(transfer))
+                handle = (None if added_slots is None else
+                          (tid, added_slots[index], transfer.is_intra_node))
+                self._engine.add(self._communication(transfer), handle)
 
     def update(
         self, added: Sequence[Transfer], removed: Sequence[Hashable]
@@ -274,6 +286,53 @@ class ModelRateProvider:
         rates = bandwidth / penalties
         self._rates.update(zip(tids, rates.tolist()))
         return tids, rates
+
+    def update_slots(
+        self, added: Sequence[Transfer], added_slots: Sequence[int],
+        removed: Sequence[Hashable]
+    ):
+        """:meth:`update_arrays` with slot handles: ``(tids, slots, rates)``.
+
+        The fastest calendar handoff: the caller passes each arrival's flight
+        slot alongside the transfer, the handles ride the incremental
+        engine's component bookkeeping, and the re-priced set comes back as
+        parallel (tid, slot, rate) sequences — the calendar applies them by
+        direct array indexing with zero per-flush hash gathers.  Same
+        re-priced membership, same order, bit-identical float64 rates as the
+        dict and array tiers.
+        """
+        if self._engine is None:
+            # full-recompute mode: update() validates and re-prices the whole
+            # active set; slots are tracked provider-side and gathered once
+            changed = self.update(added, removed)
+            slot_of = self._slot_of
+            for tid in removed:
+                slot_of.pop(tid, None)
+            for transfer, slot in zip(added, added_slots):
+                slot_of[transfer.transfer_id] = slot
+            tids = list(changed.keys())
+            slots = np.fromiter((slot_of[tid] for tid in tids),
+                                dtype=np.intp, count=len(tids))
+            rates = np.fromiter(changed.values(), dtype=np.float64,
+                                count=len(tids))
+            return tids, slots, rates
+        self._apply_delta(added, removed, added_slots)
+        handles, penalties = self._engine.refresh_handles()
+        if not handles:
+            return [], np.empty(0, dtype=np.intp), np.empty(0, dtype=np.float64)
+        count = len(handles)
+        tids = [handle[0] for handle in handles]
+        slots = np.fromiter((handle[1] for handle in handles),
+                            dtype=np.intp, count=count)
+        intra = np.fromiter((handle[2] for handle in handles),
+                            dtype=bool, count=count)
+        # identical IEEE-754 operations to update_arrays/_rate_of
+        penalties = np.maximum(1.0, penalties)
+        bandwidth = np.where(intra, self.technology.memory_bandwidth,
+                             self.technology.single_stream_bandwidth)
+        rates = bandwidth / penalties
+        self._rates.update(zip(tids, rates.tolist()))
+        return tids, slots, rates
 
     def _sync(self, active: Sequence[Transfer]) -> None:
         """Diff ``active`` against the tracked set and apply the delta."""

@@ -107,15 +107,19 @@ class TestGuardedEmissionRC03:
 class TestDeltaContractRC04:
     ROOT = FIXTURES / "rc04"
 
-    def test_all_three_shape_rules_fire_at_the_offending_def(self):
+    def test_all_four_shape_rules_fire_at_the_offending_def(self):
         findings, _ = run_check([self.ROOT / "bad_provider.py"],
                                 root=self.ROOT,
                                 checkers=[DeltaContractChecker])
+        # SlotsWithoutArrays (no reset) trips both slot-tier rules at the
+        # update_slots def line
         assert triples(findings) == [("bad_provider.py", 8, "RC04"),
+                                     ("bad_provider.py", 8, "RC04"),
                                      ("bad_provider.py", 16, "RC04"),
                                      ("bad_provider.py", 24, "RC04")]
         messages = "\n".join(f.message for f in findings)
-        assert "update_slots() without" in messages
+        assert "update_slots() without update_arrays()" in messages
+        assert "slot-map invariant method set (missing: reset)" in messages
         assert "does not route through update()" in messages
         assert "reset() must be zero-arg" in messages
 

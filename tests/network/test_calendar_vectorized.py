@@ -29,7 +29,8 @@ BOTH_PATHS = pytest.mark.parametrize("vectorized", [True, False],
                                      ids=["array", "scalar"])
 
 #: heap-strategy counters that legitimately differ scalar-vs-array
-STRATEGY_COUNTERS = ("bulk_merges", "bulk_entries")
+STRATEGY_COUNTERS = ("bulk_merges", "bulk_entries", "handoff_tier_slots",
+                     "handoff_tier_arrays", "handoff_tier_dict")
 
 
 class ScriptedDelta:
@@ -504,3 +505,38 @@ class TestSlotHandleHandoff:
         assert calendar.stats.retimed == 6
         # scaled completion: rate 100*(1+tid%3)+10*v halved
         assert calendar.next_time() is not None
+
+    def test_rate_scale_window_reenters_the_slot_tier(self):
+        """The reprice that ends a rate-scale window re-seeds every slot
+        handle, so the slot tier resumes for the rest of the run.
+
+        Regression: clearing the scale used to leave the calendar on the
+        fallback tier forever — flights re-added through the dict contract
+        during the window had no handles, so the provider's slot mirror
+        would KeyError on the next slot flush.
+        """
+        provider = SlotTierDelta()
+        calendar = TransferCalendar(provider, delta=True, vectorized=True)
+        for i in range(6):
+            calendar.activate(Transfer(i, 0, 1, 1e7), now=0.0)
+        calendar.flush(0.0)
+        assert calendar.stats.handoff_tier_slots == 1
+        # scale window: flushes downgrade past the slot tier (here all the
+        # way to the dict contract — SlotTierDelta has no array tier)
+        calendar.set_rate_scale(lambda transfer: 0.5)
+        calendar.reprice(1.0)
+        calendar.activate(Transfer(6, 0, 1, 1e7), now=1.0)
+        calendar.flush(1.0)
+        assert calendar.stats.handoff_tier_slots == 1
+        assert calendar.stats.handoff_tier_dict == 2
+        # window over: the clearing reprice re-adds the whole active set
+        # through update_slots, re-seeding every handle
+        calendar.set_rate_scale(None)
+        calendar.reprice(2.0)
+        assert calendar.stats.handoff_tier_slots == 2
+        # ...so later slot flushes find the full mirror intact
+        calendar.activate(Transfer(7, 0, 1, 1e7), now=2.0)
+        calendar.flush(2.0)
+        assert calendar.stats.handoff_tier_slots == 3
+        done = calendar.pop_due(1e9)
+        assert sorted(t.transfer_id for t in done) == list(range(8))

@@ -145,6 +145,46 @@ class TestMetricsBitExact:
                             label_a="metered", label_b="unmetered")
 
 
+class TestDrainTimer:
+    """The batched due-event drain has its own phase timer."""
+
+    SPEC = {"num_tasks": 4, "provider": "model", "loaded": False,
+            "policy": "RRN", "seed": 0,
+            "rounds": [{"pairs": [(0, 1, True, False), (2, 3, True, False)],
+                        "computes": [(0, 8), (1, 8), (2, 8), (3, 8)],
+                        "barrier": True}] * 3}
+
+    def cluster(self):
+        return custom_cluster(num_nodes=4, cores_per_node=1,
+                              technology="ethernet")
+
+    def test_due_event_drain_is_timed_and_bit_exact(self):
+        """``timeline.drain_s`` observes the drain sweep without perturbing
+        the run (the unmetered engine carries ``None``, not a dead timer)."""
+        cluster = self.cluster()
+        app = build_application(self.SPEC)
+        plain = run_engine(self.SPEC, app, cluster)
+        registry = MetricsRegistry()
+        metered = run_engine(self.SPEC, app, cluster, metrics=registry)
+        assert metered == plain
+        snap = registry.snapshot()
+        assert snap["timeline.drain_s.count"] > 0
+        assert snap["timeline.drain_s.total"] >= 0.0
+
+    def test_drain_timer_honours_sample_every(self):
+        """A 1-in-N registry times every Nth sweep — still bit-exact."""
+        cluster = self.cluster()
+        app = build_application(self.SPEC)
+        plain = run_engine(self.SPEC, app, cluster)
+        dense = MetricsRegistry()
+        sparse = MetricsRegistry(timer_sample_every=7)
+        assert run_engine(self.SPEC, app, cluster, metrics=dense) == plain
+        assert run_engine(self.SPEC, app, cluster, metrics=sparse) == plain
+        dense_count = dense.snapshot()["timeline.drain_s.count"]
+        sparse_count = sparse.snapshot()["timeline.drain_s.count"]
+        assert 0 < sparse_count < dense_count
+
+
 class TestMetricsConfig:
     def test_negative_sample_interval_is_rejected(self):
         with pytest.raises(ReproError):

@@ -1,0 +1,409 @@
+"""Three-tier delta-handoff equivalence for the *real* rate providers.
+
+PR 8 proved the dict/array handoff tiers bit-exact against scripted test
+doubles; this suite closes the loop on the production providers.  Both
+:class:`~repro.simulator.providers.ModelRateProvider` (analytical
+contention model over the incremental penalty engine) and
+:class:`~repro.network.allocator.EmulatorRateProvider` (warm-started
+water-filling allocator) speak all three tiers of the delta contract —
+
+* ``update(added, removed) -> dict``            (dict tier)
+* ``update_arrays(added, removed)``             (array tier)
+* ``update_slots(added, added_slots, removed)`` (slot-handle tier)
+
+— and the tier the calendar picks must never change simulated results:
+identical per-rank event streams, finish times, traces and stats (modulo
+the strategy counters that *name* the tier taken).  Tier choice is forced
+by hiding the faster entry points behind wrappers, since the calendar
+discovers tiers with ``getattr``.
+
+Degenerate cases ride along: slot reuse after cancels, transfer-id reuse
+(the slot store resets a reused slot's epoch to zero), and zero-rate
+stalls whose retry cycle must re-register slot handles rather than
+stranding them on the dict path.
+"""
+
+from __future__ import annotations
+
+import pytest
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro._numpy import np
+from repro.cluster import custom_cluster, make_placement
+from repro.core import GigabitEthernetModel
+from repro.network.allocator import EmulatorRateProvider
+from repro.network.fluid import Transfer, TransferCalendar
+from repro.network.topology import CrossbarTopology
+from repro.simulator import (
+    ANY_SOURCE,
+    Application,
+    BackgroundTrafficInjector,
+    EngineConfig,
+    Simulator,
+)
+from repro.simulator.providers import ModelRateProvider
+from repro.trace import MemoryTraceSink, assert_traces_equal
+from repro.units import KiB, MB
+
+common_settings = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+#: strategy counters: which handoff tier served a flush (and whether heap
+#: entries bulk-merged) names the *strategy*, not the work — everything
+#: else in the stats must be identical across tiers
+STRATEGY_COUNTERS = ("bulk_merges", "bulk_entries", "handoff_tier_slots",
+                     "handoff_tier_arrays", "handoff_tier_dict")
+
+TIERS = ("slots", "arrays", "dict")
+
+
+# ------------------------------------------------------------ tier forcing
+class DictOnly:
+    """Expose only the dict tier of a tiered provider.
+
+    The calendar probes ``update_arrays``/``update_slots`` with
+    ``getattr``, so hiding them behind a wrapper forces every flush onto
+    the dict contract while the inner provider prices identically.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+
+    def update(self, added, removed):
+        return self.inner.update(added, removed)
+
+    def reset(self):
+        self.inner.reset()
+
+
+class ArraysOnly(DictOnly):
+    """Expose the dict and array tiers, hiding ``update_slots``."""
+
+    def update_arrays(self, added, removed):
+        return self.inner.update_arrays(added, removed)
+
+
+def force_tier(tier, provider):
+    if tier == "dict":
+        return DictOnly(provider)
+    if tier == "arrays":
+        return ArraysOnly(provider)
+    return provider
+
+
+def make_provider(kind, cluster):
+    if kind == "model":
+        return ModelRateProvider(GigabitEthernetModel(), "ethernet")
+    topology = CrossbarTopology(num_hosts=cluster.num_nodes,
+                                technology=cluster.technology)
+    return EmulatorRateProvider(cluster.technology, topology)
+
+
+def strip_strategy(stats_dict):
+    for key in STRATEGY_COUNTERS:
+        stats_dict.pop(key, None)
+    return stats_dict
+
+
+# --------------------------------------------------------- engine workloads
+round_strategy = st.fixed_dictionaries({
+    "pairs": st.lists(
+        st.tuples(st.integers(0, 5), st.integers(0, 5), st.booleans(),
+                  st.booleans()),
+        min_size=1, max_size=3,
+    ),
+    "computes": st.lists(
+        st.tuples(st.integers(0, 5), st.integers(1, 40)), max_size=3
+    ),
+    "barrier": st.booleans(),
+})
+workload_strategy = st.fixed_dictionaries({
+    "num_tasks": st.integers(2, 6),
+    "rounds": st.lists(round_strategy, min_size=1, max_size=3),
+    "policy": st.sampled_from(["RRN", "RRP", "random"]),
+    "seed": st.integers(0, 3),
+    "provider": st.sampled_from(["model", "emulator"]),
+    "loaded": st.booleans(),
+})
+
+
+def build_application(spec) -> Application:
+    num_tasks = spec["num_tasks"]
+    app = Application(num_tasks=num_tasks, name="provider-tiers-prop")
+    for round_no, round_spec in enumerate(spec["rounds"]):
+        tag = round_no + 1
+        busy = set()
+        for rank, ticks in round_spec["computes"]:
+            app.add_compute(rank % num_tasks, duration=ticks * 0.0125)
+        for a, b, large, wildcard in round_spec["pairs"]:
+            src, dst = a % num_tasks, b % num_tasks
+            if src == dst:
+                dst = (dst + 1) % num_tasks
+            if src in busy or dst in busy:
+                continue
+            busy.update((src, dst))
+            size = 2 * MB if large else 4 * KiB
+            app.add_send(src, dst, size, tag=tag)
+            app.add_recv(dst, ANY_SOURCE if wildcard else src, size, tag=tag)
+        if round_spec["barrier"]:
+            app.add_barrier()
+    return app
+
+
+def run_engine(spec, app, cluster, tier, vectorized, delta=True, trace=None):
+    injectors = ()
+    if spec["loaded"]:
+        injectors = (BackgroundTrafficInjector(
+            rate=200.0, size=1 * MB, seed=spec["seed"], max_flows=6),)
+    provider = force_tier(tier, make_provider(spec["provider"], cluster))
+    sim = Simulator(
+        cluster,
+        provider,
+        config=EngineConfig(delta_rates=delta, vectorized_calendar=vectorized,
+                            injectors=injectors),
+        trace=trace,
+    )
+    placement = make_placement(spec["policy"], cluster, app.num_tasks,
+                               seed=spec["seed"])
+    report = sim.run(app, placement=placement)
+    return report.records, report.finish_time_per_task, sim.last_engine_stats
+
+
+def comparable(outcome):
+    records, finish, stats = outcome
+    return records, finish, strip_strategy(stats.as_dict())
+
+
+class TestEngineTierEquivalence:
+    @common_settings
+    @given(spec=workload_strategy)
+    def test_every_tier_matches_the_scalar_dict_run(self, spec):
+        """Slot, array and dict handoffs all reproduce the scalar run —
+        per-rank records, finish times and work counters — for both real
+        providers, clean and under background-traffic load."""
+        cluster = custom_cluster(num_nodes=3, cores_per_node=2,
+                                 technology="ethernet")
+        app = build_application(spec)
+        scalar = run_engine(spec, app, cluster, "slots", vectorized=False)
+        for tier in TIERS:
+            outcome = run_engine(spec, app, cluster, tier, vectorized=True)
+            assert comparable(outcome) == comparable(scalar), tier
+            if tier == "slots":
+                # the real providers must actually *ride* the top tier:
+                # untraced+unscaled flushes never fall through to dict
+                stats = outcome[2].as_dict()
+                assert stats["handoff_tier_dict"] == 0
+                if stats["flushes"]:
+                    assert stats["handoff_tier_slots"] > 0
+        # full re-query agrees on the simulated results (stats legitimately
+        # differ: no delta bookkeeping at all)
+        full = run_engine(spec, app, cluster, "slots", vectorized=True,
+                          delta=False)
+        assert full[:2] == scalar[:2]
+
+    @common_settings
+    @given(spec=workload_strategy)
+    def test_traced_runs_stay_on_the_dict_tier_and_agree(self, spec):
+        """A trace sink pins both calendars to the dict tier; the
+        slot-capable provider's trace is record-for-record the trace of a
+        dict-only scalar run."""
+        cluster = custom_cluster(num_nodes=3, cores_per_node=2,
+                                 technology="ethernet")
+        app = build_application(spec)
+        scalar_sink = MemoryTraceSink()
+        scalar = run_engine(spec, app, cluster, "dict", vectorized=False,
+                            trace=scalar_sink)
+        array_sink = MemoryTraceSink()
+        arrays = run_engine(spec, app, cluster, "slots", vectorized=True,
+                            trace=array_sink)
+        assert arrays[:2] == scalar[:2]
+        stats = arrays[2].as_dict()
+        assert stats["handoff_tier_slots"] == 0
+        assert stats["handoff_tier_arrays"] == 0
+        assert_traces_equal(array_sink.log(), scalar_sink.log(),
+                            label_a="slot-capable", label_b="dict-only")
+
+
+# ------------------------------------------------- calendar-level degenerates
+def churn_cluster():
+    return custom_cluster(num_nodes=4, cores_per_node=1,
+                          technology="ethernet")
+
+
+def tier_calendar(kind, tier, vectorized, wrap=None):
+    provider = make_provider(kind, churn_cluster())
+    if wrap is not None:
+        provider = wrap(provider)
+    return TransferCalendar(force_tier(tier, provider), delta=True,
+                            vectorized=vectorized)
+
+
+def tier_matrix(kind, run, wrap=None):
+    """Run ``run(calendar)`` on all three vectorized tiers + the scalar
+    calendar and assert the outcomes identical."""
+    scalar = run(tier_calendar(kind, "dict", vectorized=False, wrap=wrap))
+    for tier in TIERS:
+        outcome = run(tier_calendar(kind, tier, vectorized=True, wrap=wrap))
+        assert outcome == scalar, (kind, tier)
+    return scalar
+
+
+def comparable_calendar(calendar):
+    return strip_strategy(calendar.stats.freeze().as_dict())
+
+
+PROVIDER_KINDS = ("model", "emulator")
+
+
+class TestCalendarTierDegenerates:
+    @pytest.mark.parametrize("kind", PROVIDER_KINDS)
+    def test_slot_reuse_after_cancel(self, kind):
+        """Churn with mid-run completions and cancels: freed slots are
+        LIFO-reused by later arrivals while the provider's slot mirror (and
+        the allocator's incidence buckets) keep up."""
+        def run(calendar):
+            num_flights, rounds = 18, 9
+            for i in range(num_flights):
+                size = 1e11 if i % 2 == 0 else 1e6 * (1 + i % 5)
+                calendar.activate(Transfer(i, i % 3, 3, size), now=0.0)
+            calendar.flush(0.0)
+            done = []
+            for r in range(rounds):
+                now = 10.0 * (r + 1)
+                calendar.cancel(2 * r, now)  # even ids never complete
+                calendar.activate(
+                    Transfer(num_flights + r, r % 3, 3, 1e6 * (1 + r % 3)),
+                    now=now)
+                calendar.flush(now)
+                done.extend(t.transfer_id for t in calendar.pop_due(now))
+            for i in range(rounds, num_flights // 2):
+                calendar.cancel(2 * i, 100.0)
+            calendar.flush(100.0)
+            done.extend(t.transfer_id for t in calendar.pop_due(1e7))
+            return done, comparable_calendar(calendar)
+
+        done, _ = tier_matrix(kind, run)
+        assert done  # the small flights really did complete mid-run
+
+    @pytest.mark.parametrize("kind", PROVIDER_KINDS)
+    def test_transfer_id_reuse_resets_the_slot_epoch(self, kind):
+        """Re-activating a completed transfer id restarts its epoch at
+        zero in a (possibly reused) slot; stale heap entries of the first
+        incarnation must not fire for the second on any tier."""
+        def run(calendar):
+            for i in range(6):
+                calendar.activate(Transfer(i, i % 3, 3, 2e6 * (1 + i % 2)),
+                                  now=0.0)
+            calendar.flush(0.0)
+            # rate churn before completion: bump epochs so stale entries
+            # exist in the heap when the ids come back
+            calendar.cancel(5, 0.001)
+            calendar.flush(0.001)
+            done = [t.transfer_id for t in calendar.pop_due(1e5)]
+            # same ids, second incarnation (slot store hands back the
+            # freed slots, epochs restart at zero)
+            for i in range(6):
+                calendar.activate(Transfer(i, i % 3, 3, 1e6 * (1 + i % 3)),
+                                  now=1e5)
+            calendar.flush(1e5)
+            done.extend(t.transfer_id for t in calendar.pop_due(1e9))
+            return done, comparable_calendar(calendar)
+
+        tier_matrix(kind, run)
+
+
+class StallFirstFlush:
+    """Zero every rate of the first delta on all three tiers.
+
+    The inner provider tracks the flow set normally; only the first
+    returned pricing is forced to zero, so every flight stalls and the
+    calendar's retry cycle (departure + re-arrival of the whole stalled
+    set) must run — through the slot path when the tier allows, where it
+    has to re-register each flight's slot handle.
+    """
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.calls = 0
+
+    def _zeroing(self):
+        self.calls += 1
+        return self.calls == 1
+
+    def update(self, added, removed):
+        changed = self.inner.update(added, removed)
+        if self._zeroing():
+            return {tid: 0.0 for tid in changed}
+        return changed
+
+    def update_arrays(self, added, removed):
+        tids, rates = self.inner.update_arrays(added, removed)
+        if self._zeroing():
+            rates = np.zeros_like(rates)
+        return tids, rates
+
+    def update_slots(self, added, added_slots, removed):
+        tids, slots, rates = self.inner.update_slots(added, added_slots,
+                                                     removed)
+        if self._zeroing():
+            rates = np.zeros_like(rates)
+        return tids, slots, rates
+
+    def reset(self):
+        self.inner.reset()
+
+
+class TestZeroRateStallRetry:
+    @pytest.mark.parametrize("kind", PROVIDER_KINDS)
+    def test_stall_retry_rides_the_slot_path(self, kind):
+        """A first flush pricing everything at zero stalls the whole set;
+        the retry on the next flush re-prices through the same tier the
+        run speaks — and on the slot tier the re-add re-seeds every
+        handle, so later slot flushes still find the mirror intact."""
+        def run(calendar):
+            for i in range(6):
+                calendar.activate(Transfer(i, i % 3, 3, 1e6 * (1 + i)),
+                                  now=0.0)
+            # call 1 zeroes everything; the same flush then retries the
+            # stalled set (call 2, real rates) through its handoff tier
+            calendar.flush(0.0)
+            assert calendar.stats.stall_retries == 6
+            assert calendar.next_time() is not None
+            # a later arrival exercises the post-retry handoff
+            calendar.activate(Transfer(99, 0, 3, 5e5), now=1.0)
+            calendar.flush(1.0)
+            done = [t.transfer_id for t in calendar.pop_due(1e9)]
+            return done, comparable_calendar(calendar)
+
+        tier_matrix(kind, run, wrap=StallFirstFlush)
+
+
+class TestRateScaleTierRecovery:
+    @pytest.mark.parametrize("kind", PROVIDER_KINDS)
+    def test_slot_counter_recovers_after_a_scale_window(self, kind):
+        """Regression for the permanent-downgrade bug: a rate-scale window
+        skips the slot tier (here to the array tier — the real providers
+        speak both), and the reprice that clears the scale re-seeds the
+        slot handles so the counter climbs again."""
+        calendar = tier_calendar(kind, "slots", vectorized=True)
+        for i in range(6):
+            calendar.activate(Transfer(i, i % 3, 3, 1e10), now=0.0)
+        calendar.flush(0.0)
+        assert calendar.stats.handoff_tier_slots == 1
+        calendar.set_rate_scale(lambda transfer: 0.5)
+        calendar.reprice(1.0)
+        calendar.activate(Transfer(6, 0, 3, 1e10), now=1.0)
+        calendar.flush(1.0)
+        # the window ran on the array tier, never dict, never slots
+        assert calendar.stats.handoff_tier_slots == 1
+        assert calendar.stats.handoff_tier_arrays == 2
+        assert calendar.stats.handoff_tier_dict == 0
+        calendar.set_rate_scale(None)
+        calendar.reprice(2.0)
+        assert calendar.stats.handoff_tier_slots == 2
+        calendar.activate(Transfer(7, 1, 3, 1e10), now=2.0)
+        calendar.flush(2.0)
+        assert calendar.stats.handoff_tier_slots == 3
+        assert calendar.active_count == 8

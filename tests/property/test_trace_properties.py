@@ -98,6 +98,21 @@ def run_engine(spec, app, cluster, trace):
     return report.records, report.finish_time_per_task, sim.last_engine_stats
 
 
+#: strategy counters: an attached sink pins the calendar to the dict
+#: handoff tier (the array/slot tiers skip the per-flush trace records), so
+#: which tier served a flush — never the work done — differs under tracing
+STRATEGY_COUNTERS = ("bulk_merges", "bulk_entries", "handoff_tier_slots",
+                     "handoff_tier_arrays", "handoff_tier_dict")
+
+
+def comparable(outcome):
+    records, finish, stats = outcome
+    flat = stats.as_dict()
+    for key in STRATEGY_COUNTERS:
+        flat.pop(key, None)
+    return records, finish, flat
+
+
 class TestTraceOffBitExact:
     @common_settings
     @given(spec=workload_strategy)
@@ -111,8 +126,8 @@ class TestTraceOffBitExact:
         null_sink = run_engine(spec, app, cluster, trace=NullTraceSink())
         memory = MemoryTraceSink()
         traced = run_engine(spec, app, cluster, trace=memory)
-        assert null_sink == untraced
-        assert traced == untraced
+        assert comparable(null_sink) == comparable(untraced)
+        assert comparable(traced) == comparable(untraced)
         # the trace actually observed the run it did not perturb
         assert memory.emitted > 0
         kinds = memory.log().kinds()
@@ -141,5 +156,10 @@ class TestTraceOffBitExact:
                                             trace=memory)
         traced = traced_sim.run(transfers)
         assert traced == untraced
-        assert traced_sim.last_calendar_stats == untraced_sim.last_calendar_stats
+        traced_stats = traced_sim.last_calendar_stats.as_dict()
+        untraced_stats = untraced_sim.last_calendar_stats.as_dict()
+        for key in STRATEGY_COUNTERS:
+            traced_stats.pop(key, None)
+            untraced_stats.pop(key, None)
+        assert traced_stats == untraced_stats
         assert memory.emitted > 0

@@ -105,10 +105,12 @@ def run_engine(spec, app, cluster, delta, vectorized, trace=None):
     return report.records, report.finish_time_per_task, sim.last_engine_stats
 
 
-#: heap-insertion strategy counters: the scalar path never bulk-merges, so
-#: these two legitimately differ between the paths — every *work* counter
-#: (flushes, retimed, completions, compactions, stale entries, ...) must not
-STRATEGY_COUNTERS = ("bulk_merges", "bulk_entries")
+#: strategy counters: the scalar path never bulk-merges, and only the
+#: vectorized untraced path engages the array/slot handoff tiers, so these
+#: legitimately differ between the paths — every *work* counter (flushes,
+#: retimed, completions, compactions, stale entries, ...) must not
+STRATEGY_COUNTERS = ("bulk_merges", "bulk_entries", "handoff_tier_slots",
+                     "handoff_tier_arrays", "handoff_tier_dict")
 
 
 def comparable(outcome):
